@@ -1,0 +1,303 @@
+package ringsym_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ringsym/internal/core"
+	"ringsym/internal/engine"
+	"ringsym/internal/eval"
+	"ringsym/internal/netgen"
+	"ringsym/internal/rcomm"
+	"ringsym/internal/ring"
+)
+
+// The benchmarks below regenerate the paper's evaluation artefacts: one
+// benchmark per row of Table I and Table II, one per reduction figure
+// (Figures 1 and 2), one for the RingDist machinery of Figure 3 and one for
+// the distinguisher sizes of Section IV.  Each reports the measured number of
+// rounds per problem as benchmark metrics, next to the wall-clock cost of the
+// simulation itself.  cmd/benchtables prints the same data as readable
+// tables, and EXPERIMENTS.md records a reference run.
+
+var benchSizes = []int{16, 32, 64, 128}
+
+func benchSetting(b *testing.B, s eval.Setting) {
+	for _, rawN := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", rawN), func(b *testing.B) {
+			var nm, da, le, ld int
+			for i := 0; i < b.N; i++ {
+				n := rawN
+				if s.OddN {
+					n++
+				}
+				idBound := 4 * n
+				var err error
+				nm, da, le, err = eval.MeasureCoordination(s, n, idBound, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				total, _, _, solvable, err := eval.MeasureLocationDiscovery(s, n, idBound, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if solvable {
+					ld = total
+				}
+			}
+			b.ReportMetric(float64(nm), "nontrivial-rounds")
+			b.ReportMetric(float64(da), "diragree-rounds")
+			b.ReportMetric(float64(le), "leader-rounds")
+			b.ReportMetric(float64(ld), "locdiscovery-rounds")
+		})
+	}
+}
+
+// BenchmarkTable1OddN regenerates Table I, row "odd n".
+func BenchmarkTable1OddN(b *testing.B) {
+	benchSetting(b, eval.Setting{Name: "odd n", Model: ring.Basic, OddN: true})
+}
+
+// BenchmarkTable1BasicEven regenerates Table I, row "basic model, even n".
+func BenchmarkTable1BasicEven(b *testing.B) {
+	benchSetting(b, eval.Setting{Name: "basic model, even n", Model: ring.Basic})
+}
+
+// BenchmarkTable1LazyEven regenerates Table I, row "lazy model, even n".
+func BenchmarkTable1LazyEven(b *testing.B) {
+	benchSetting(b, eval.Setting{Name: "lazy model, even n", Model: ring.Lazy})
+}
+
+// BenchmarkTable1PerceptiveEven regenerates Table I, row "perceptive model,
+// even n".
+func BenchmarkTable1PerceptiveEven(b *testing.B) {
+	benchSetting(b, eval.Setting{Name: "perceptive model, even n", Model: ring.Perceptive})
+}
+
+// BenchmarkTable2 regenerates Table II (common sense of direction), one
+// sub-benchmark per row.
+func BenchmarkTable2(b *testing.B) {
+	for _, s := range eval.Table2Settings() {
+		b.Run(s.Name, func(b *testing.B) {
+			benchSetting(b, s)
+		})
+	}
+}
+
+// BenchmarkFigure1Reductions measures the reduction arrows of Figure 1
+// (odd n / lazy / perceptive settings).
+func BenchmarkFigure1Reductions(b *testing.B) {
+	var rs []eval.Reduction
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = eval.MeasureReductions(eval.Setting{Model: ring.Lazy}, 32, 128, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rs {
+		b.ReportMetric(float64(r.Rounds), fmt.Sprintf("%s->%s-rounds", shortProblem(r.From), shortProblem(r.To)))
+	}
+}
+
+// BenchmarkFigure2Reductions measures the reduction arrows of Figure 2 (basic
+// model, even n).
+func BenchmarkFigure2Reductions(b *testing.B) {
+	var rs []eval.Reduction
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = eval.MeasureReductions(eval.Setting{Model: ring.Basic}, 32, 128, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rs {
+		b.ReportMetric(float64(r.Rounds), fmt.Sprintf("%s->%s-rounds", shortProblem(r.From), shortProblem(r.To)))
+	}
+}
+
+func shortProblem(p eval.Problem) string {
+	switch p {
+	case eval.LeaderElection:
+		return "LE"
+	case eval.NontrivialMove:
+		return "NM"
+	case eval.DirectionAgreement:
+		return "DA"
+	default:
+		return "LD"
+	}
+}
+
+// BenchmarkFigure3RingDist measures the cost of the ring-distance discovery
+// stage (Algorithm 5, illustrated by Figure 3) across sizes.
+func BenchmarkFigure3RingDist(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				samples, err := eval.MeasureRingDist([]int{n}, 4, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = samples[0].Rounds
+			}
+			b.ReportMetric(float64(rounds), "ringdist-rounds")
+		})
+	}
+}
+
+// BenchmarkDistinguisherSize measures the minimal (N,n)-distinguisher
+// prefixes of the pseudo-random schedule (Section IV, Corollary 29).  The
+// verification is exhaustive, so the universes are small.
+func BenchmarkDistinguisherSize(b *testing.B) {
+	pairs := [][2]int{{8, 2}, {12, 2}, {16, 2}, {10, 3}}
+	var samples []eval.DistinguisherSample
+	for i := 0; i < b.N; i++ {
+		var err error
+		samples, err = eval.MeasureDistinguishers(pairs, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range samples {
+		b.ReportMetric(float64(s.MinPrefix), fmt.Sprintf("N%d-n%d-prefix", s.Universe, s.SubsetSize))
+	}
+}
+
+// BenchmarkLowerBounds compares measured location-discovery round counts with
+// the Lemma 6 lower bounds (n−1 for basic/lazy, n/2 for perceptive).
+func BenchmarkLowerBounds(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		model ring.Model
+		n     int
+	}{
+		{"lazy", ring.Lazy, 64},
+		{"perceptive", ring.Perceptive, 64},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := eval.Setting{Model: tc.model}
+			var total int
+			for i := 0; i < b.N; i++ {
+				t, _, _, _, err := eval.MeasureLocationDiscovery(s, tc.n, 4*tc.n, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = t
+			}
+			b.ReportMetric(float64(total), "measured-rounds")
+			lower := tc.n - 1
+			if tc.model == ring.Perceptive {
+				lower = tc.n / 2
+			}
+			b.ReportMetric(float64(lower), "lemma6-lower-bound")
+		})
+	}
+}
+
+// BenchmarkAblationDissemination compares the two dissemination strategies of
+// the communication layer (DESIGN.md ablation): the generic O(p·d) flooding
+// of Corollary 33 versus the pipelined O(p+d) sparse dissemination of
+// Corollary 34, measured in rounds for the same task.
+func BenchmarkAblationDissemination(b *testing.B) {
+	run := func(b *testing.B, sparse bool) {
+		const payloadBits, distance = 10, 8
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			cfg := netgen.MustGenerate(netgen.Options{N: 24, Seed: int64(i), Model: ring.Perceptive, MixedChirality: true, ForceSplitChirality: true})
+			nw, err := engine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := engine.Run(nw, func(a *engine.Agent) (int, error) {
+				link, err := rcomm.Establish(core.NewFrame(a))
+				if err != nil {
+					return 0, err
+				}
+				before := a.RoundsUsed()
+				isSource := a.ID()%8 == 1
+				if sparse {
+					_, _, err = link.DisseminateSparse(isSource, uint64(a.ID()), payloadBits, distance)
+				} else {
+					_, _, err = link.Disseminate(isSource, uint64(a.ID()), payloadBits, distance)
+				}
+				if err != nil {
+					return 0, err
+				}
+				return a.RoundsUsed() - before, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Outputs[0]
+		}
+		b.ReportMetric(float64(rounds), "dissemination-rounds")
+	}
+	b.Run("generic-corollary33", func(b *testing.B) { run(b, false) })
+	b.Run("sparse-corollary34", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationNontrivialDetection compares the weak (rotation != 0, one
+// round per candidate) and strong (Lemma 2 classification, two rounds per
+// candidate) nontrivial-move detection used with the Theorem 27 schedule.
+func BenchmarkAblationNontrivialDetection(b *testing.B) {
+	run := func(b *testing.B, weak bool) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			cfg := netgen.MustGenerate(netgen.Options{N: 32, Seed: int64(i), Model: ring.Basic, MixedChirality: true, ForceSplitChirality: true})
+			nw, err := engine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := engine.Run(nw, func(a *engine.Agent) (int, error) {
+				f := core.NewFrame(a)
+				if weak {
+					_, _, err := core.WeakNontrivialMoveEven(f, int64(i))
+					return f.RoundsUsed(), err
+				}
+				_, err := core.NontrivialMoveEven(f, int64(i))
+				return f.RoundsUsed(), err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Outputs[0]
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	}
+	b.Run("weak", func(b *testing.B) { run(b, true) })
+	b.Run("strong", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkEngineRound measures the raw cost of a single synchronised round
+// of the runtime (goroutine barrier plus the analytic collision engine).
+func BenchmarkEngineRound(b *testing.B) {
+	for _, n := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := netgen.MustGenerate(netgen.Options{N: n, Seed: 1, Model: ring.Perceptive})
+			nw, err := engine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			rounds := b.N
+			_, err = engine.Run(nw, func(a *engine.Agent) (int, error) {
+				dir := ring.Clockwise
+				if a.ID()%2 == 0 {
+					dir = ring.Anticlockwise
+				}
+				for i := 0; i < rounds; i++ {
+					if _, err := a.Round(dir); err != nil {
+						return 0, err
+					}
+					dir = dir.Opposite()
+				}
+				return 0, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

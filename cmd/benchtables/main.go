@@ -1,0 +1,103 @@
+// Command benchtables regenerates the evaluation artefacts of the paper:
+// Table I, Table II, the reduction figures (Figures 1 and 2), the RingDist
+// cost curve behind Figure 3 and the distinguisher-size experiment of
+// Section IV.  Measured round counts are printed next to the paper's bounds.
+//
+// Usage:
+//
+//	benchtables [-tables] [-figures] [-distinguishers] [-sizes 16,32,64,128] [-seed 1]
+//
+// With no selection flags everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"ringsym/internal/eval"
+	"ringsym/internal/ring"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtables: ")
+
+	tables := flag.Bool("tables", false, "print Table I and Table II")
+	figures := flag.Bool("figures", false, "print the Figure 1/2 reductions and the Figure 3 curve")
+	distinguishers := flag.Bool("distinguishers", false, "print the Section IV distinguisher experiment")
+	sizes := flag.String("sizes", "16,32,64,128", "comma-separated network sizes n")
+	seed := flag.Int64("seed", 1, "seed for configurations and pseudo-random schedules")
+	idFactor := flag.Int("idfactor", 4, "identifier bound N as a multiple of n")
+	flag.Parse()
+
+	if !*tables && !*figures && !*distinguishers {
+		*tables, *figures, *distinguishers = true, true, true
+	}
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := eval.SweepConfig{Sizes: ns, IDBoundFactor: *idFactor, Seed: *seed}
+
+	if *tables {
+		rows, err := eval.TableRows(eval.Table1Settings(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(eval.Format("Table I - deterministic solutions in the general setting", rows))
+		rows, err = eval.TableRows(eval.Table2Settings(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(eval.Format("Table II - deterministic solutions with a common sense of direction", rows))
+	}
+	if *figures {
+		n := ns[len(ns)/2]
+		fig1, err := eval.MeasureReductions(eval.Setting{Model: ring.Lazy}, n, *idFactor*n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(eval.FormatReductions("Figure 1 - reductions among coordination problems (odd n / lazy / perceptive)", fig1))
+		fig2, err := eval.MeasureReductions(eval.Setting{Model: ring.Basic}, n, *idFactor*n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(eval.FormatReductions("Figure 2 - reductions among coordination problems (basic model, even n)", fig2))
+		fig3, err := eval.MeasureRingDist(ns, *idFactor, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(eval.FormatRingDist(fig3))
+	}
+	if *distinguishers {
+		pairs := [][2]int{{8, 2}, {12, 2}, {16, 2}, {10, 3}, {12, 3}}
+		samples, err := eval.MeasureDistinguishers(pairs, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(eval.FormatDistinguishers(samples))
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 5 {
+			return nil, fmt.Errorf("invalid size %q (need integers >= 5)", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+// Command distinguisher explores the combinatorial objects of Section IV:
+// for given universe sizes it reports the minimal prefix of the pseudo-random
+// schedule that forms an (N,n)-distinguisher (Definition 20) and checks
+// selective families (Definition 35), next to the paper's bounds.
+//
+// Usage:
+//
+//	distinguisher -N 12 -n 3 -seed 1
+//	distinguisher -selective -N 64 -k 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ringsym/internal/comb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distinguisher: ")
+
+	universe := flag.Int("N", 12, "universe size N")
+	subset := flag.Int("n", 3, "subset size n for the distinguisher check")
+	k := flag.Int("k", 8, "selectivity parameter for -selective")
+	seed := flag.Int64("seed", 1, "seed of the pseudo-random family")
+	selective := flag.Bool("selective", false, "check an (N,k)-selective family instead of a distinguisher")
+	flag.Parse()
+
+	if *selective {
+		runSelective(*universe, *k, *seed)
+		return
+	}
+	runDistinguisher(*universe, *subset, *seed)
+}
+
+func runDistinguisher(universe, subset int, seed int64) {
+	if universe > 20 {
+		log.Fatalf("the exhaustive distinguisher check enumerates all pairs of %d-subsets; use N <= 20", subset)
+	}
+	fam, err := comb.NewRandomDistinguisher(universe, 64*subset+64, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	min := comb.MinimalDistinguisherPrefix(fam, subset)
+	fmt.Printf("universe N=%d, subset size n=%d, seed=%d\n", universe, subset, seed)
+	if min < 0 {
+		fmt.Println("the generated family does not distinguish all pairs; increase its length")
+		return
+	}
+	fmt.Printf("minimal (N,n)-distinguisher prefix of the pseudo-random schedule: %d sets\n", min)
+	fmt.Printf("Corollary 29 lower bound  n·log(N/n)/log n  = %.1f\n", comb.DistinguisherLowerBound(universe, subset))
+	fmt.Printf("Lemma 43 counting bound   log_(n+1) C(N,n)  = %.1f\n", comb.CountingLowerBound(universe, subset))
+}
+
+func runSelective(universe, k int, seed int64) {
+	fam, err := comb.NewRandomSelective(universe, k, seed, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pseudo-random (N=%d, k=%d)-selective family: %d sets\n", universe, k, fam.Len())
+	fmt.Printf("existence bound  k·log(N/k)  = %.1f\n", comb.SelectiveSizeBound(universe, k))
+	if universe <= 24 && k <= 4 {
+		fmt.Printf("exhaustive verification: selective = %v\n", comb.IsSelective(fam, k))
+	} else {
+		fmt.Println("exhaustive verification skipped (too large); spot-checking 1000 random subsets")
+		ok := true
+		for trial := 0; trial < 1000; trial++ {
+			z := randomSubset(universe, k, seed+int64(trial))
+			if idx, _ := comb.SelectorIndex(fam, z); idx < 0 {
+				ok = false
+				fmt.Printf("  no selector for %v\n", z)
+			}
+		}
+		fmt.Printf("spot check passed = %v\n", ok)
+	}
+}
+
+func randomSubset(universe, k int, seed int64) []int {
+	out := make([]int, 0, k)
+	used := map[int]bool{}
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for len(out) < k {
+		x = x*2862933555777941757 + 3037000493
+		v := 1 + int(x%uint64(universe))
+		if !used[v] {
+			used[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

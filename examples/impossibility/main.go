@@ -1,0 +1,59 @@
+// Impossibility: Lemma 5 of the paper states that location discovery cannot
+// be solved in the basic model when n is even.  This example makes the
+// argument tangible: it builds two different rings — the original and the
+// "alternating perturbation" twin — and shows that any schedule of
+// basic-model rounds produces exactly the same observations in both worlds,
+// so no deterministic protocol can ever tell them apart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ringsym/internal/discovery"
+	"ringsym/internal/ring"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		n    = 8
+		circ = int64(1000)
+	)
+	positions := []int64{0, 90, 210, 300, 480, 600, 710, 850}
+	twin, err := discovery.TwinConfiguration(circ, positions, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("world A positions:", positions)
+	fmt.Println("world B positions:", twin)
+	fmt.Println("(every odd-indexed agent is shifted by +20; all even-length arcs are unchanged)")
+	fmt.Println()
+
+	// Throw 50 random rounds of the basic model at both worlds.
+	rng := rand.New(rand.NewSource(2))
+	schedule := make([][]ring.Direction, 50)
+	for t := range schedule {
+		dirs := make([]ring.Direction, n)
+		for i := range dirs {
+			if rng.Intn(2) == 0 {
+				dirs[i] = ring.Clockwise
+			} else {
+				dirs[i] = ring.Anticlockwise
+			}
+		}
+		schedule[t] = dirs
+	}
+	equal, err := discovery.ObservationallyEquivalent(circ, positions, twin, schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identical dist() observations in all %d random rounds: %v\n", len(schedule), equal)
+	fmt.Println()
+	fmt.Println("conclusion (Lemma 5): in the basic model with an even number of agents, every")
+	fmt.Println("protocol behaves identically on the two worlds, yet the worlds differ — so no")
+	fmt.Println("protocol can solve location discovery.  The lazy model (idle moves) and the")
+	fmt.Println("perceptive model (first-collision distances) both escape this argument.")
+}

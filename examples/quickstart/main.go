@@ -1,0 +1,56 @@
+// Quickstart: build a small ring of bouncing agents, break the symmetry
+// (nontrivial move → direction agreement → leader election) and then let
+// every agent discover the positions of all the others — the location
+// discovery problem of the paper — in the lazy model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ringsym"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Ten agents at hand-picked positions on a circle of 1<<16 ticks.  Agents
+	// 1, 4 and 7 privately believe clockwise is the other way around
+	// (Chirality=false): the protocols must agree on a direction first.
+	cfg := ringsym.Config{
+		Model:         ringsym.Lazy,
+		Circumference: 1 << 16,
+		Positions:     []int64{0, 5000, 9000, 16384, 20000, 30000, 40000, 45000, 52000, 60000},
+		IDs:           []int{12, 7, 25, 3, 18, 31, 9, 22, 5, 14},
+		IDBound:       32,
+		Chirality:     []bool{true, false, true, true, false, true, true, false, true, true},
+	}
+	nw, err := ringsym.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: the coordination problems (Sections III and IV of the paper).
+	coord, err := nw.Coordinate(ringsym.CoordinationOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coordination finished in %d rounds; the leader is the agent with ID %d\n",
+		coord.Rounds, coord.LeaderID)
+
+	// Step 2: location discovery (Lemma 16): after coordination the agents
+	// sweep the ring once; every agent ends up knowing the initial position
+	// of every other agent relative to its own.
+	disc, err := nw.DiscoverLocations(ringsym.DiscoveryOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("location discovery finished in %d rounds (Lemma 6 lower bound: %d)\n\n",
+		disc.Rounds, ringsym.LocationDiscoveryLowerBound(nw.Model(), nw.N()))
+
+	for i, a := range disc.PerAgent {
+		fmt.Printf("agent %d (ID %2d) discovered n=%d and the relative map %v\n",
+			i, a.ID, a.N, a.Positions)
+	}
+	fmt.Println("\nall maps verified against the simulator's ground truth")
+}

@@ -1,0 +1,179 @@
+package arcsolve
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 100); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("full=0 accepted")
+	}
+	if _, err := New(4, 100); err != nil {
+		t.Errorf("valid solver rejected: %v", err)
+	}
+}
+
+func TestSimpleSolve(t *testing.T) {
+	// Gaps 10, 20, 30, 40 on a circle of 100.
+	s, err := New(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solved() {
+		t.Fatal("empty system cannot be solved")
+	}
+	// Arc from slot 0 of length 1 = 10; from 1 length 2 = 50; from 2 length 3
+	// (wrapping past slot 0) = 80.
+	if err := s.AddArc(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddArc(1, 2, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddArc(2, 3, 80); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Solved() {
+		t.Fatal("system should be solved")
+	}
+	gaps, err := s.Gaps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 20, 30, 40}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+}
+
+func TestInconsistencyDetected(t *testing.T) {
+	s, _ := New(4, 100)
+	if err := s.AddArc(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddArc(0, 1, 11); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("got %v, want ErrInconsistent", err)
+	}
+	if err := s.AddArc(0, 0, 5); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("zero-length arc with value: got %v", err)
+	}
+	if err := s.AddArc(0, 4, 99); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("full arc with wrong value: got %v", err)
+	}
+	if err := s.AddArc(0, 4, 100); err != nil {
+		t.Fatalf("full arc with right value rejected: %v", err)
+	}
+	if err := s.AddArc(0, 0, 0); err != nil {
+		t.Fatalf("zero arc with zero value rejected: %v", err)
+	}
+	if err := s.AddArc(-1, 1, 5); !errors.Is(err, ErrBadArc) {
+		t.Fatalf("negative from: got %v", err)
+	}
+	if err := s.AddArc(0, 9, 5); !errors.Is(err, ErrBadArc) {
+		t.Fatalf("oversized length: got %v", err)
+	}
+}
+
+func TestGapsBeforeSolved(t *testing.T) {
+	s, _ := New(4, 100)
+	if _, err := s.Gaps(); !errors.Is(err, ErrUnsolved) {
+		t.Fatalf("got %v, want ErrUnsolved", err)
+	}
+	if _, ok := s.Prefix(2); ok {
+		t.Error("Prefix(2) should be unknown")
+	}
+	if _, ok := s.Prefix(-1); ok {
+		t.Error("Prefix(-1) should be rejected")
+	}
+	if v, ok := s.Prefix(0); !ok || v != 0 {
+		t.Error("Prefix(0) must be 0 and known")
+	}
+}
+
+// TestRandomReconstruction generates random gap vectors, feeds random
+// consistent arc equations and checks that, once the solver reports success,
+// the reconstruction is exact.
+func TestRandomReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(20)
+		gaps := make([]int64, n)
+		var full int64
+		for i := range gaps {
+			gaps[i] = int64(1 + rng.Intn(50))
+			full += gaps[i]
+		}
+		arcLen := func(from, length int) int64 {
+			var v int64
+			for k := 0; k < length; k++ {
+				v += gaps[(from+k)%n]
+			}
+			return v
+		}
+		s, err := New(n, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10*n && !s.Solved(); i++ {
+			from := rng.Intn(n)
+			length := rng.Intn(n + 1)
+			if err := s.AddArc(from, length, arcLen(from, length)); err != nil {
+				t.Fatalf("trial %d: unexpected error: %v", trial, err)
+			}
+		}
+		if !s.Solved() {
+			continue // unlucky equation draw; nothing to check
+		}
+		got, err := s.Gaps()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gaps {
+			if got[i] != gaps[i] {
+				t.Fatalf("trial %d: gap %d = %d, want %d", trial, i, got[i], gaps[i])
+			}
+		}
+	}
+}
+
+// TestSolvedRequiresSpanningEquations: single-slot arcs for slots 0..n-2
+// solve the system; dropping one leaves it undetermined.
+func TestSolvedRequiresSpanningEquations(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		gaps := make([]int64, n)
+		var full int64
+		for i := range gaps {
+			gaps[i] = int64(1 + rng.Intn(9))
+			full += gaps[i]
+		}
+		s, err := New(n, full)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n-2; i++ {
+			if err := s.AddArc(i, 1, gaps[i]); err != nil {
+				return false
+			}
+		}
+		if s.Solved() {
+			return false // one slot short: cannot be solved yet
+		}
+		if err := s.AddArc(n-2, 1, gaps[n-2]); err != nil {
+			return false
+		}
+		return s.Solved()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

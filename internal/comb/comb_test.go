@@ -1,0 +1,291 @@
+package comb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExplicitFamilyBasics(t *testing.T) {
+	f, err := NewExplicitFamily(10, [][]int{{1, 3, 5}, {2}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 || f.Universe() != 10 {
+		t.Fatal("Len/Universe wrong")
+	}
+	if !f.Contains(0, 3) || f.Contains(0, 2) || f.Contains(2, 1) {
+		t.Error("Contains wrong")
+	}
+	got := f.Set(0)
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Set(0) = %v", got)
+		}
+	}
+	f.Append([]int{7, 9})
+	if f.Len() != 4 || !f.Contains(3, 9) {
+		t.Error("Append wrong")
+	}
+	if _, err := NewExplicitFamily(0, nil); err == nil {
+		t.Error("zero universe accepted")
+	}
+	if _, err := NewExplicitFamily(4, [][]int{{5}}); err == nil {
+		t.Error("out-of-universe element accepted")
+	}
+}
+
+func TestRandomDistinguisherDeterminismAndBalance(t *testing.T) {
+	d, err := NewRandomDistinguisher(1000, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := NewRandomDistinguisher(1000, 64, 42)
+	inCount := 0
+	for i := 0; i < d.Len(); i++ {
+		for id := 1; id <= 1000; id += 37 {
+			if d.Contains(i, id) != d2.Contains(i, id) {
+				t.Fatal("same seed must give identical membership")
+			}
+			if d.Contains(i, id) {
+				inCount++
+			}
+		}
+	}
+	total := d.Len() * len(rangeInts(1, 1000, 37))
+	frac := float64(inCount) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("membership fraction %v far from 1/2", frac)
+	}
+	if _, err := NewRandomDistinguisher(0, 4, 1); err == nil {
+		t.Error("bad universe accepted")
+	}
+	if _, err := NewRandomDistinguisher(10, -1, 1); err == nil {
+		t.Error("negative length accepted")
+	}
+	if d.WithLength(5).Len() != 5 {
+		t.Error("WithLength wrong")
+	}
+}
+
+func rangeInts(lo, hi, step int) []int {
+	var out []int
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestDistinguishesAndFirstSeparator(t *testing.T) {
+	f, _ := NewExplicitFamily(8, [][]int{
+		{1, 2, 3, 4}, // does not separate {1,2} and {3,4}
+		{1, 3},       // does not separate {1,2} and {3,4} (1 each)
+		{1, 2},       // separates them
+	})
+	if got := FirstSeparator(f, []int{1, 2}, []int{3, 4}, -1); got != 2 {
+		t.Fatalf("FirstSeparator = %d, want 2", got)
+	}
+	if Distinguishes(f, []int{1, 2}, []int{3, 4}, 2) {
+		t.Error("prefix of length 2 should not distinguish")
+	}
+	if !Distinguishes(f, []int{1, 2}, []int{3, 4}, -1) {
+		t.Error("full family should distinguish")
+	}
+}
+
+// TestIsDistinguisherSmall checks the exhaustive verifier against a known
+// distinguisher and a known non-distinguisher.
+func TestIsDistinguisherSmall(t *testing.T) {
+	// Singletons {1},...,{6} distinguish any two disjoint equal-size sets.
+	var singletons [][]int
+	for i := 1; i <= 6; i++ {
+		singletons = append(singletons, []int{i})
+	}
+	f, _ := NewExplicitFamily(6, singletons)
+	if !IsDistinguisher(f, 2) {
+		t.Error("singleton family should be a distinguisher")
+	}
+	// The empty family cannot distinguish anything when pairs exist.
+	empty, _ := NewExplicitFamily(6, nil)
+	if IsDistinguisher(empty, 2) {
+		t.Error("empty family accepted as distinguisher")
+	}
+	// Vacuous case: no disjoint pairs of size 4 exist in [1..6].
+	if !IsDistinguisher(empty, 4) {
+		t.Error("vacuous case should hold")
+	}
+}
+
+func TestRandomDistinguisherIsDistinguisherForSmallN(t *testing.T) {
+	d, _ := NewRandomDistinguisher(8, 64, 7)
+	if !IsDistinguisher(d, 2) {
+		t.Error("random family of length 64 should distinguish pairs of 2-sets of [1..8]")
+	}
+	min := MinimalDistinguisherPrefix(d, 2)
+	if min < 1 || min > 64 {
+		t.Fatalf("minimal prefix = %d", min)
+	}
+	if IsDistinguisher(d.WithLength(min-1), 2) {
+		t.Error("prefix below the minimum should fail")
+	}
+	if !IsDistinguisher(d.WithLength(min), 2) {
+		t.Error("prefix at the minimum should succeed")
+	}
+}
+
+func TestMinimalDistinguisherPrefixFailure(t *testing.T) {
+	empty, _ := NewExplicitFamily(6, nil)
+	if got := MinimalDistinguisherPrefix(empty, 2); got != -1 {
+		t.Fatalf("got %d, want -1", got)
+	}
+}
+
+func TestLowerBoundFormulas(t *testing.T) {
+	if DistinguisherLowerBound(1024, 1) != 1 {
+		t.Error("degenerate case should be 1")
+	}
+	v := DistinguisherLowerBound(1<<20, 1<<10)
+	// n log(N/n)/log n = 1024*10/10 = 1024.
+	if v < 1000 || v > 1100 {
+		t.Errorf("DistinguisherLowerBound = %v", v)
+	}
+	if CountingLowerBound(16, 0) != 0 {
+		t.Error("degenerate counting bound")
+	}
+	if CountingLowerBound(1024, 4) <= 0 {
+		t.Error("counting bound should be positive")
+	}
+	// The refined bound dominates the counting bound up to constants for
+	// small n; just check both are finite and positive here.
+	if SelectiveSizeBound(1024, 16) <= 0 || SelectiveSizeBound(10, 0) != 0 {
+		t.Error("SelectiveSizeBound degenerate cases")
+	}
+}
+
+func TestIsIntersectionFree(t *testing.T) {
+	sets := [][]int{{1, 2, 3, 4}, {1, 2, 5, 6}, {5, 6, 7, 8}}
+	if !IsIntersectionFree(sets, 3) {
+		t.Error("no pair intersects in exactly 3 elements")
+	}
+	if IsIntersectionFree(sets, 2) {
+		t.Error("first two sets intersect in exactly 2 elements")
+	}
+}
+
+func TestRandomSelectiveFamily(t *testing.T) {
+	s, err := NewRandomSelective(64, 8, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Universe() != 64 || s.K() != 8 || s.Len() <= 0 {
+		t.Fatal("basic accessors wrong")
+	}
+	// Deterministic for a fixed seed.
+	s2, _ := NewRandomSelective(64, 8, 3, 0)
+	for i := 0; i < s.Len(); i += 7 {
+		for id := 1; id <= 64; id += 5 {
+			if s.Contains(i, id) != s2.Contains(i, id) {
+				t.Fatal("same seed must give identical membership")
+			}
+		}
+	}
+	if _, err := NewRandomSelective(0, 1, 1, 0); err == nil {
+		t.Error("bad universe accepted")
+	}
+	if _, err := NewRandomSelective(16, 0, 1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewRandomSelective(16, 17, 1, 0); err == nil {
+		t.Error("k>universe accepted")
+	}
+	if s.Contains(s.Len()+5, 1) {
+		t.Error("out-of-range set index should contain nothing")
+	}
+}
+
+// TestRandomSelectiveSelectsRandomSubsets draws random target sets Z and
+// checks that some set of the family hits each exactly once.
+func TestRandomSelectiveSelectsRandomSubsets(t *testing.T) {
+	const universe = 256
+	s, err := NewRandomSelective(universe, 16, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		size := 1 + rng.Intn(16)
+		seen := map[int]bool{}
+		z := make([]int, 0, size)
+		for len(z) < size {
+			v := 1 + rng.Intn(universe)
+			if !seen[v] {
+				seen[v] = true
+				z = append(z, v)
+			}
+		}
+		if idx, sel := SelectorIndex(s, z); idx < 0 {
+			t.Fatalf("trial %d: no selector for %v", trial, z)
+		} else if !seen[sel] {
+			t.Fatalf("trial %d: selected element %d not in Z", trial, sel)
+		}
+	}
+}
+
+func TestGreedySelectiveAndIsSelective(t *testing.T) {
+	g, err := GreedySelective(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSelective(g, 3) {
+		t.Error("singleton-based family must be selective")
+	}
+	// A family with a single set equal to the whole universe is not
+	// selective for k >= 2.
+	whole, _ := NewExplicitFamily(6, [][]int{{1, 2, 3, 4, 5, 6}})
+	if IsSelective(whole, 2) {
+		t.Error("whole-universe family accepted as 2-selective")
+	}
+	if _, err := GreedySelective(0, 1); err == nil {
+		t.Error("bad universe accepted")
+	}
+	if _, err := GreedySelective(5, 9); err == nil {
+		t.Error("k>universe accepted")
+	}
+}
+
+func TestHasSingleHitProperty(t *testing.T) {
+	// For singleton families, every non-empty Z has a single hit.
+	var singletons [][]int
+	for i := 1; i <= 12; i++ {
+		singletons = append(singletons, []int{i})
+	}
+	f, _ := NewExplicitFamily(12, singletons)
+	err := quick.Check(func(raw []uint8) bool {
+		seen := map[int]bool{}
+		var z []int
+		for _, r := range raw {
+			v := 1 + int(r)%12
+			if !seen[v] {
+				seen[v] = true
+				z = append(z, v)
+			}
+		}
+		if len(z) == 0 {
+			return true
+		}
+		return hasSingleHit(f, z)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsHelper(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9}
+	for in, want := range cases {
+		if got := Bits(in); got != want {
+			t.Errorf("Bits(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

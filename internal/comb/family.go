@@ -1,0 +1,130 @@
+// Package comb implements the combinatorial machinery of the paper:
+// (N,n)-distinguishers (Definition 20), strong distinguishers (Definition 21),
+// (N,k)-selective families (Definition 35, from Clementi et al.),
+// intersection-free families (Definition 24) and the associated size bounds
+// (Lemma 23, Corollary 29).
+//
+// The existence results of the paper (Theorem 27, Lemma 15) are
+// non-constructive: they use the probabilistic method.  This package
+// substitutes seeded pseudo-random constructions — deterministic for a fixed
+// seed, with the same expected size — plus exhaustive verifiers for small
+// parameters, as documented in DESIGN.md.
+package comb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SetFamily is an ordered family S_1, ..., S_k of subsets of the universe
+// [1..N].  Families may be represented implicitly (pseudo-random membership),
+// so the only access path is the membership test.
+type SetFamily interface {
+	// Len returns the number of sets in the family.
+	Len() int
+	// Universe returns the bound N of the universe [1..N].
+	Universe() int
+	// Contains reports whether id belongs to the i-th set (0-based).
+	Contains(i int, id int) bool
+}
+
+// Errors returned by the package.
+var (
+	ErrBadUniverse = errors.New("comb: universe bound must be positive")
+	ErrBadSize     = errors.New("comb: invalid size parameter")
+)
+
+// ExplicitFamily is a SetFamily stored as explicit member sets.
+type ExplicitFamily struct {
+	universe int
+	sets     []map[int]struct{}
+}
+
+var _ SetFamily = (*ExplicitFamily)(nil)
+
+// NewExplicitFamily builds a family from explicit member lists.
+func NewExplicitFamily(universe int, sets [][]int) (*ExplicitFamily, error) {
+	if universe <= 0 {
+		return nil, ErrBadUniverse
+	}
+	f := &ExplicitFamily{universe: universe, sets: make([]map[int]struct{}, 0, len(sets))}
+	for _, s := range sets {
+		m := make(map[int]struct{}, len(s))
+		for _, id := range s {
+			if id < 1 || id > universe {
+				return nil, fmt.Errorf("comb: element %d outside universe [1,%d]", id, universe)
+			}
+			m[id] = struct{}{}
+		}
+		f.sets = append(f.sets, m)
+	}
+	return f, nil
+}
+
+// Append adds one more set to the family.
+func (f *ExplicitFamily) Append(set []int) {
+	m := make(map[int]struct{}, len(set))
+	for _, id := range set {
+		m[id] = struct{}{}
+	}
+	f.sets = append(f.sets, m)
+}
+
+// Len implements SetFamily.
+func (f *ExplicitFamily) Len() int { return len(f.sets) }
+
+// Universe implements SetFamily.
+func (f *ExplicitFamily) Universe() int { return f.universe }
+
+// Contains implements SetFamily.
+func (f *ExplicitFamily) Contains(i, id int) bool {
+	_, ok := f.sets[i][id]
+	return ok
+}
+
+// Set returns the sorted members of the i-th set.
+func (f *ExplicitFamily) Set(i int) []int {
+	out := make([]int, 0, len(f.sets[i]))
+	for id := range f.sets[i] {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// splitmix64 is the mixing function used for implicit pseudo-random families.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash01 maps (seed, set index, id) to a uniform value in [0,1).
+func hash01(seed int64, i, id int) float64 {
+	h := splitmix64(uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(i)<<32 ^ uint64(id))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Log2 returns the base-2 logarithm of max(x, 2) — a convenience used by the
+// asymptotic bound formulas so they stay finite for tiny arguments.
+func Log2(x float64) float64 {
+	if x < 2 {
+		x = 2
+	}
+	return math.Log2(x)
+}
+
+// Bits returns the number of bits needed to write numbers in [1..n].
+func Bits(n int) int {
+	b := 0
+	for v := n; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"ringsym/internal/engine"
+	"ringsym/internal/ring"
+)
+
+// Options configures the high-level coordination pipeline.
+type Options struct {
+	// CommonSense promises that all agents already share a sense of
+	// direction (the Table II setting); the caller is responsible for the
+	// promise being true of the underlying network.
+	CommonSense bool
+	// Seed drives the pseudo-random schedules used for even n.
+	Seed int64
+}
+
+// Coordination is the outcome of solving the three coordination problems.
+type Coordination struct {
+	// Frame is the agent's frame after direction agreement; all agents'
+	// frames refer to the same objective clockwise direction.
+	Frame *Frame
+	// IsLeader reports whether this agent was elected the unique leader.
+	IsLeader bool
+	// NontrivialDir is this agent's direction, in the agreed frame, in an
+	// assignment known to be a nontrivial move.
+	NontrivialDir ring.Direction
+	// RoundsNontrivial, RoundsAgreement and RoundsLeader record the number
+	// of rounds spent in each stage (identical at every agent).
+	RoundsNontrivial int
+	RoundsAgreement  int
+	RoundsLeader     int
+}
+
+// Coordinate solves nontrivial move, direction agreement and leader election
+// (Theorem 7) for the basic and lazy models, and for the perceptive model via
+// the basic-model algorithms (the faster perceptive pipeline lives in
+// internal/perceptive).  The route depends on the setting:
+//
+//   - common sense of direction promised: leader election by binary search
+//     with emptiness testing (Lemma 13), then a nontrivial move from the
+//     leader (Lemma 10);
+//   - odd n: nontrivial move from the identifier bits (Corollary 18), then
+//     Algorithm 1 and Algorithm 2;
+//   - even (or unknown) n: the pseudo-random schedule substituting for
+//     Theorem 27, then Algorithm 1 and Algorithm 2.
+func Coordinate(a *engine.Agent, opts Options) (*Coordination, error) {
+	f := NewFrame(a)
+	if opts.CommonSense {
+		return coordinateCommonSense(f)
+	}
+
+	start := f.RoundsUsed()
+	var nmDir ring.Direction
+	var err error
+	if a.NParity() == engine.ParityOdd {
+		nmDir, err = NontrivialMoveOdd(f)
+	} else {
+		nmDir, err = NontrivialMoveEven(f, opts.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	afterNM := f.RoundsUsed()
+
+	nmDir, err = DirectionAgreement(f, nmDir)
+	if err != nil {
+		return nil, err
+	}
+	afterDA := f.RoundsUsed()
+
+	isLeader, err := LeaderElectWithNM(f, nmDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordination{
+		Frame:            f,
+		IsLeader:         isLeader,
+		NontrivialDir:    nmDir,
+		RoundsNontrivial: afterNM - start,
+		RoundsAgreement:  afterDA - afterNM,
+		RoundsLeader:     f.RoundsUsed() - afterDA,
+	}, nil
+}
+
+// coordinateCommonSense is the Table II pipeline: the frames already agree,
+// so the leader is elected by binary search (Lemma 13) and a nontrivial move
+// follows from the leader (Lemma 10).
+func coordinateCommonSense(f *Frame) (*Coordination, error) {
+	start := f.RoundsUsed()
+	isLeader, err := LeaderElectCommonSense(f)
+	if err != nil {
+		return nil, err
+	}
+	afterLeader := f.RoundsUsed()
+	nmDir, err := NontrivialMoveFromLeader(f, isLeader)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordination{
+		Frame:            f,
+		IsLeader:         isLeader,
+		NontrivialDir:    nmDir,
+		RoundsLeader:     afterLeader - start,
+		RoundsNontrivial: f.RoundsUsed() - afterLeader,
+	}, nil
+}

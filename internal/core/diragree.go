@@ -1,0 +1,50 @@
+package core
+
+import "ringsym/internal/ring"
+
+// DirectionAgreement implements Algorithm 1 (DirAgr).  Precondition: nmDir is
+// this agent's direction, in its current frame, in an assignment known to be
+// a nontrivial move.  The assignment is executed twice; agents whose two-round
+// displacement exceeds a full circle flip their frame.  Afterwards every
+// agent's frame refers to the same objective clockwise direction.
+//
+// The function returns nmDir re-expressed in the (possibly flipped) frame so
+// that it still denotes the same objective direction.  Cost: 2 rounds.
+func DirectionAgreement(f *Frame, nmDir ring.Direction) (ring.Direction, error) {
+	obs1, err := f.Round(nmDir)
+	if err != nil {
+		return ring.Idle, err
+	}
+	obs2, err := f.Round(nmDir)
+	if err != nil {
+		return ring.Idle, err
+	}
+	if obs1.Dist+obs2.Dist > f.FullCircle() {
+		f.Flip()
+		return nmDir.Opposite(), nil
+	}
+	return nmDir, nil
+}
+
+// DirectionAgreementOdd implements Proposition 17: for odd n the direction
+// agreement problem is solved in O(1) rounds from scratch.  All agents move
+// in their frame's clockwise direction; if the rotation index is zero every
+// frame already points the same way, otherwise the round was a nontrivial
+// move (odd n) and Algorithm 1 finishes the job.  Cost: at most 3 rounds.
+func DirectionAgreementOdd(f *Frame) error {
+	obs1, err := f.Round(ring.Clockwise)
+	if err != nil {
+		return err
+	}
+	if obs1.Dist == 0 {
+		return nil
+	}
+	obs2, err := f.Round(ring.Clockwise)
+	if err != nil {
+		return err
+	}
+	if obs1.Dist+obs2.Dist > f.FullCircle() {
+		f.Flip()
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+// Package core implements the paper's coordination algorithms: rotation-index
+// classification (Lemma 2), direction agreement (Algorithm 1,
+// Proposition 17), leader election (Algorithm 2, Lemma 13), the nontrivial
+// move problem (Lemma 10, Corollary 18, Theorem 27) and emptiness testing
+// (Lemma 12), together with the reductions of Theorem 7.
+//
+// All algorithms are written from a single agent's point of view: they take a
+// *Frame (the agent plus its current software sense of direction) and block
+// on rounds through the engine runtime.  Every agent of the network runs the
+// same function; global consistency comes from the observations being shared
+// (rotation indices are global) exactly as argued in the paper.
+package core
+
+import (
+	"errors"
+
+	"ringsym/internal/engine"
+	"ringsym/internal/ring"
+)
+
+// Errors returned by the coordination algorithms.
+var (
+	// ErrNoNontrivialMove is returned when a search for a nontrivial move
+	// exhausted its candidate schedule (for the pseudo-random schedules this
+	// has negligible probability; it indicates a mis-sized family otherwise).
+	ErrNoNontrivialMove = errors.New("core: could not find a nontrivial move")
+	// ErrNeedPerceptive is returned when an algorithm requires the
+	// perceptive model.
+	ErrNeedPerceptive = errors.New("core: algorithm requires the perceptive model")
+	// ErrNeedLazyOrOdd is returned when location discovery is requested in a
+	// setting where it is impossible (Lemma 5).
+	ErrNeedLazyOrOdd = errors.New("core: not solvable in the basic model with even n (Lemma 5)")
+)
+
+// Frame wraps an agent together with its current software sense of
+// direction.  Protocols express all directions in frame coordinates;
+// DirectionAgreement flips frames so that afterwards every agent's frame
+// refers to the same objective direction.
+type Frame struct {
+	agent   *engine.Agent
+	flipped bool
+	full    int64
+}
+
+// NewFrame wraps the agent with an unflipped frame (the agent's own private
+// sense of direction).
+func NewFrame(a *engine.Agent) *Frame {
+	return &Frame{agent: a, full: a.FullCircle()}
+}
+
+// Agent returns the underlying agent handle.
+func (f *Frame) Agent() *engine.Agent { return f.agent }
+
+// ID returns the agent's identifier.
+func (f *Frame) ID() int { return f.agent.ID() }
+
+// IDBound returns N.
+func (f *Frame) IDBound() int { return f.agent.IDBound() }
+
+// FullCircle returns the circumference in observation units (half-ticks).
+func (f *Frame) FullCircle() int64 { return f.full }
+
+// Flipped reports whether the frame currently reverses the agent's own sense
+// of direction.
+func (f *Frame) Flipped() bool { return f.flipped }
+
+// Flip reverses the frame's sense of direction.
+func (f *Frame) Flip() { f.flipped = !f.flipped }
+
+// RoundsUsed returns the number of rounds the agent has participated in.
+func (f *Frame) RoundsUsed() int { return f.agent.RoundsUsed() }
+
+// Displacement returns the cumulative displacement of the agent since the
+// start of the run, measured clockwise in the frame's current orientation
+// (half-ticks, modulo the full circle).
+func (f *Frame) Displacement() int64 {
+	d := f.agent.Displacement()
+	if f.flipped && d != 0 {
+		d = f.full - d
+	}
+	return d
+}
+
+// translate maps a frame direction to the agent's own direction.
+func (f *Frame) translate(dir ring.Direction) ring.Direction {
+	if f.flipped {
+		return dir.Opposite()
+	}
+	return dir
+}
+
+// Round executes one round in which the agent moves in direction dir
+// (frame coordinates) and returns the observation with dist() measured in the
+// frame's clockwise direction.
+func (f *Frame) Round(dir ring.Direction) (engine.Observation, error) {
+	obs, err := f.agent.Round(f.translate(dir))
+	if err != nil {
+		return engine.Observation{}, err
+	}
+	if f.flipped && obs.Dist != 0 {
+		obs.Dist = f.full - obs.Dist
+	}
+	return obs, nil
+}
+
+// RoundPair executes SINGLEROUND followed by REVERSEDROUND for the given
+// direction, so that afterwards every agent is back at the position it
+// occupied before the pair (provided every agent uses RoundPair with its own
+// direction).  It returns the observation of the first round.
+func (f *Frame) RoundPair(dir ring.Direction) (engine.Observation, error) {
+	obs, err := f.Round(dir)
+	if err != nil {
+		return engine.Observation{}, err
+	}
+	if _, err := f.Round(dir.Opposite()); err != nil {
+		return engine.Observation{}, err
+	}
+	return obs, nil
+}
+
+// RotationClass classifies the rotation index of a direction assignment as
+// seen from an agent's frame (Lemma 2).
+type RotationClass int8
+
+const (
+	// RotUnknown means the classification has not been performed.
+	RotUnknown RotationClass = iota
+	// RotZero means the rotation index is 0.
+	RotZero
+	// RotHalf means the rotation index is n/2.
+	RotHalf
+	// RotBelowHalf means the rotation index is strictly between 0 and n/2 in
+	// the agent's frame.
+	RotBelowHalf
+	// RotAboveHalf means the rotation index is strictly between n/2 and n in
+	// the agent's frame.
+	RotAboveHalf
+)
+
+// String implements fmt.Stringer.
+func (c RotationClass) String() string {
+	switch c {
+	case RotZero:
+		return "zero"
+	case RotHalf:
+		return "half"
+	case RotBelowHalf:
+		return "below-half"
+	case RotAboveHalf:
+		return "above-half"
+	default:
+		return "unknown"
+	}
+}
+
+// Nontrivial reports whether the classified round is a nontrivial move
+// (rotation index not in {0, n/2}).  This is consistent across agents even
+// though RotBelowHalf/RotAboveHalf themselves are frame-relative.
+func (c RotationClass) Nontrivial() bool { return c == RotBelowHalf || c == RotAboveHalf }
+
+// ClassifyRotation implements Lemma 2: it executes the assignment in which
+// this agent moves in direction dir twice (all agents must call it with their
+// respective directions) and classifies the assignment's rotation index.
+// When restore is true two reversed rounds follow, so every agent ends at the
+// position it started from.  Cost: 2 rounds (4 with restore).
+func (f *Frame) ClassifyRotation(dir ring.Direction, restore bool) (RotationClass, error) {
+	obs1, err := f.Round(dir)
+	if err != nil {
+		return RotUnknown, err
+	}
+	obs2, err := f.Round(dir)
+	if err != nil {
+		return RotUnknown, err
+	}
+	if restore {
+		for i := 0; i < 2; i++ {
+			if _, err := f.Round(dir.Opposite()); err != nil {
+				return RotUnknown, err
+			}
+		}
+	}
+	switch sum := obs1.Dist + obs2.Dist; {
+	case obs1.Dist == 0:
+		return RotZero, nil
+	case sum == f.full:
+		return RotHalf, nil
+	case sum > f.full:
+		return RotAboveHalf, nil
+	default:
+		return RotBelowHalf, nil
+	}
+}
+
+// IDBit returns the i-th bit (1-based, least significant first) of id.
+func IDBit(id, i int) int { return (id >> (i - 1)) & 1 }
+
+// idBits returns the number of bit positions needed for identifiers bounded
+// by the agent's IDBound.
+func (f *Frame) idBits() int {
+	b := 0
+	for v := f.IDBound(); v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

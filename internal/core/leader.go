@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"ringsym/internal/engine"
+	"ringsym/internal/ring"
+)
+
+// LeaderElectWithNM implements Algorithm 2 (LeaderWithNMove).
+//
+// Preconditions: every agent's frame refers to the same objective clockwise
+// direction (run DirectionAgreement first) and nmDir is this agent's
+// direction, in that common frame, in an assignment known to be a nontrivial
+// move.  The candidate set starts as the agents that move clockwise in the
+// nontrivial move (its rotation index is nonzero) and is halved along
+// identifier bits, keeping whichever half still has a nonzero rotation index
+// (Lemma 3(c) guarantees one of them does).  After ⌈log2 N⌉ rounds exactly
+// one agent remains.  Cost: ⌈log2 N⌉ rounds.
+func LeaderElectWithNM(f *Frame, nmDir ring.Direction) (bool, error) {
+	inX := nmDir == ring.Clockwise
+	for i := 1; i <= f.idBits(); i++ {
+		inX0 := inX && IDBit(f.ID(), i) == 0
+		dir := ring.Anticlockwise
+		if inX0 {
+			dir = ring.Clockwise
+		}
+		obs, err := f.Round(dir)
+		if err != nil {
+			return false, err
+		}
+		if obs.Dist != 0 {
+			inX = inX0
+		} else {
+			inX = inX && !inX0
+		}
+	}
+	return inX, nil
+}
+
+// EmptinessTest implements Lemma 12.  All agents know the query set B
+// implicitly: each caller passes whether its own identifier belongs to B.
+// Precondition: every agent's frame refers to the same objective clockwise
+// direction.
+//
+// Costs: one round in the lazy and perceptive models and in the basic model
+// with odd n; 1 + ⌈log2 N⌉ rounds in the basic model with even (or unknown)
+// parity.  The returned value — whether B contains the identifier of at least
+// one agent — is identical at every agent.
+func EmptinessTest(f *Frame, inB bool) (bool, error) {
+	model := f.agent.Model()
+	nonEmpty := inB
+
+	memberDir := func(member bool) ring.Direction {
+		if member {
+			return ring.Clockwise
+		}
+		if model == ring.Lazy {
+			return ring.Idle
+		}
+		return ring.Anticlockwise
+	}
+
+	obs, err := f.Round(memberDir(inB))
+	if err != nil {
+		return false, err
+	}
+	if obs.Dist != 0 || (model.RevealsCollision() && obs.Collided) {
+		nonEmpty = true
+	}
+
+	needBitRounds := model == ring.Basic && f.agent.NParity() != engine.ParityOdd
+	if !needBitRounds {
+		return nonEmpty, nil
+	}
+	// Basic model with even n: |B ∩ A| = n/2 can hide behind rotation index
+	// zero.  Testing the bit-slices B ∩ {x : bit_i(x) = 0} recovers it: if
+	// B ∩ A is non-empty but every slice has rotation index zero, all members
+	// would share every identifier bit, which is impossible for n > 4.
+	for i := 1; i <= f.idBits(); i++ {
+		member := inB && IDBit(f.ID(), i) == 0
+		obs, err := f.Round(memberDir(member))
+		if err != nil {
+			return false, err
+		}
+		if obs.Dist != 0 {
+			nonEmpty = true
+		}
+	}
+	return nonEmpty, nil
+}
+
+// LeaderElectCommonSense implements Lemma 13: with a common sense of
+// direction the agent with the maximum identifier is located by binary search
+// over [1, N], using EmptinessTest on the upper half of the remaining range.
+// Cost: ⌈log2 N⌉ emptiness tests, i.e. O(log N) rounds in the lazy,
+// perceptive and odd-n basic settings and O(log² N) rounds in the basic model
+// with even n.
+func LeaderElectCommonSense(f *Frame) (bool, error) {
+	lo, hi := 1, f.IDBound()
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		inB := f.ID() >= mid && f.ID() <= hi
+		nonEmpty, err := EmptinessTest(f, inB)
+		if err != nil {
+			return false, err
+		}
+		if nonEmpty {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return f.ID() == lo, nil
+}
+
+// BroadcastBits lets a single distinguished agent publish a message of the
+// given number of bits to every other agent using the global
+// rotation-signalling channel: in the round for bit b the broadcaster moves
+// clockwise when the bit is 1 and anticlockwise otherwise, while every other
+// agent moves anticlockwise.  The rotation index is nonzero exactly when the
+// bit is 1, which every agent observes through dist().
+//
+// Precondition: common sense of direction and a unique broadcaster.
+// Cost: bits rounds.  Every agent returns the broadcaster's value.
+func BroadcastBits(f *Frame, isBroadcaster bool, value uint64, bits int) (uint64, error) {
+	if bits <= 0 || bits > 63 {
+		return 0, fmt.Errorf("core: BroadcastBits supports 1..63 bits, got %d", bits)
+	}
+	var received uint64
+	for i := 0; i < bits; i++ {
+		dir := ring.Anticlockwise
+		if isBroadcaster && (value>>i)&1 == 1 {
+			dir = ring.Clockwise
+		}
+		obs, err := f.Round(dir)
+		if err != nil {
+			return 0, err
+		}
+		if obs.Dist != 0 {
+			received |= 1 << i
+		}
+	}
+	return received, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"ringsym/internal/comb"
+	"ringsym/internal/ring"
+)
+
+// NontrivialMoveOdd solves the nontrivial move problem when n is odd
+// (Corollary 18).  For odd n a round is nontrivial as soon as both objective
+// directions occur, so the all-clockwise round works unless every agent is
+// oriented the same way, in which case the agents differ on some identifier
+// bit and the corresponding bit round breaks the tie.  Cost: at most
+// 1 + ⌈log2 N⌉ rounds.
+//
+// The returned direction is this agent's direction, in frame coordinates, in
+// a round known by every agent to be a nontrivial move.
+func NontrivialMoveOdd(f *Frame) (ring.Direction, error) {
+	obs, err := f.Round(ring.Clockwise)
+	if err != nil {
+		return ring.Idle, err
+	}
+	if obs.Dist != 0 {
+		return ring.Clockwise, nil
+	}
+	for i := 1; i <= f.idBits(); i++ {
+		dir := ring.Anticlockwise
+		if IDBit(f.ID(), i) == 1 {
+			dir = ring.Clockwise
+		}
+		obs, err := f.Round(dir)
+		if err != nil {
+			return ring.Idle, err
+		}
+		if obs.Dist != 0 {
+			return dir, nil
+		}
+	}
+	return ring.Idle, fmt.Errorf("%w: odd-n bit schedule exhausted", ErrNoNontrivialMove)
+}
+
+// NontrivialMoveFromLeader solves the nontrivial move problem in O(1) rounds
+// once a unique leader exists (Lemma 10).  The two candidate assignments
+// differ only in the leader's direction, so their rotation indices differ by
+// 2 and cannot both lie in {0, n/2} when n > 4.  Cost: at most 4 rounds.
+func NontrivialMoveFromLeader(f *Frame, isLeader bool) (ring.Direction, error) {
+	cls, err := f.ClassifyRotation(ring.Clockwise, false)
+	if err != nil {
+		return ring.Idle, err
+	}
+	if cls.Nontrivial() {
+		return ring.Clockwise, nil
+	}
+	dir := ring.Clockwise
+	if isLeader {
+		dir = ring.Anticlockwise
+	}
+	cls, err = f.ClassifyRotation(dir, false)
+	if err != nil {
+		return ring.Idle, err
+	}
+	if cls.Nontrivial() {
+		return dir, nil
+	}
+	return ring.Idle, fmt.Errorf("%w: leader-based candidates both trivial (is the leader unique and n > 4?)", ErrNoNontrivialMove)
+}
+
+// NontrivialMoveSearch executes the direction schedule defined by the set
+// family (agents whose identifier is in the i-th set move clockwise in their
+// frame, all others anticlockwise) until a round with a nontrivial rotation
+// index appears.  With weak set, a weakly nontrivial move (rotation index
+// different from 0, Proposition 22) is accepted and each candidate costs one
+// round; otherwise each candidate is classified with Lemma 2 and costs two.
+//
+// It returns this agent's direction in the successful round and the index of
+// the successful set.
+func NontrivialMoveSearch(f *Frame, fam comb.SetFamily, weak bool) (ring.Direction, int, error) {
+	for i := 0; i < fam.Len(); i++ {
+		dir := ring.Anticlockwise
+		if fam.Contains(i, f.ID()) {
+			dir = ring.Clockwise
+		}
+		if weak {
+			obs, err := f.Round(dir)
+			if err != nil {
+				return ring.Idle, 0, err
+			}
+			if obs.Dist != 0 {
+				return dir, i, nil
+			}
+			continue
+		}
+		cls, err := f.ClassifyRotation(dir, false)
+		if err != nil {
+			return ring.Idle, 0, err
+		}
+		if cls.Nontrivial() {
+			return dir, i, nil
+		}
+	}
+	return ring.Idle, 0, fmt.Errorf("%w: schedule of %d sets exhausted", ErrNoNontrivialMove, fam.Len())
+}
+
+// defaultScheduleLength bounds the pseudo-random schedule used when n is
+// unknown: Theorem 27 guarantees a nontrivial move within
+// O(n·log(N/n)/log n) = O(N) rounds with overwhelming probability.
+func defaultScheduleLength(idBound int) int {
+	l := 16*idBound + 512
+	return l
+}
+
+// NontrivialMoveEven solves the (strong) nontrivial move problem in the basic
+// or lazy model for even n using the seeded pseudo-random schedule that
+// substitutes for the non-constructive sequence of Theorem 27.  The expected
+// number of rounds matches Θ(n·log(N/n)/log n) up to constants; Corollary 26
+// shows this is optimal up to the log n factor.
+func NontrivialMoveEven(f *Frame, seed int64) (ring.Direction, error) {
+	fam, err := comb.NewRandomDistinguisher(f.IDBound(), defaultScheduleLength(f.IDBound()), seed)
+	if err != nil {
+		return ring.Idle, err
+	}
+	dir, _, err := NontrivialMoveSearch(f, fam, false)
+	return dir, err
+}
+
+// WeakNontrivialMoveEven is the weak variant (rotation index merely nonzero),
+// the object related to (N, n/2)-distinguishers by Proposition 22.  It
+// returns the index of the successful round so that experiments can compare
+// the empirical count against the distinguisher bounds of Section IV.
+func WeakNontrivialMoveEven(f *Frame, seed int64) (ring.Direction, int, error) {
+	fam, err := comb.NewRandomDistinguisher(f.IDBound(), defaultScheduleLength(f.IDBound()), seed)
+	if err != nil {
+		return ring.Idle, 0, err
+	}
+	return NontrivialMoveSearch(f, fam, true)
+}

@@ -1,0 +1,178 @@
+// Package discovery provides the location-discovery front-ends of the paper
+// (Section III-D and Section V-C), the impossibility construction of Lemma 5
+// and the lower bounds of Lemma 6.
+//
+// Location discovery asks every agent to determine the initial position of
+// every other agent relative to its own initial position.  The package
+// dispatches on the model and the parity of n:
+//
+//   - lazy model (any n) and basic/perceptive model with odd n: solve the
+//     coordination problems, then sweep the ring with a constant rotation
+//     index (Lemma 16), n + o(n) rounds;
+//   - perceptive model with even n: the Section V pipeline
+//     (internal/perceptive), n/2 + o(n) rounds;
+//   - basic model with even n: impossible (Lemma 5).
+package discovery
+
+import (
+	"errors"
+	"fmt"
+
+	"ringsym/internal/core"
+	"ringsym/internal/engine"
+	"ringsym/internal/perceptive"
+	"ringsym/internal/ring"
+)
+
+// Errors returned by the package.
+var (
+	// ErrNotSolvable is returned for the basic model with even n (Lemma 5).
+	ErrNotSolvable = errors.New("discovery: location discovery is not solvable in the basic model with even n (Lemma 5)")
+	// ErrProtocol indicates a violated invariant.
+	ErrProtocol = errors.New("discovery: protocol invariant violated")
+)
+
+// Options configures location discovery.
+type Options struct {
+	// CommonSense promises that all agents already share a sense of
+	// direction (Table II setting); coordination then uses Lemma 13.
+	CommonSense bool
+	// Seed drives the pseudo-random schedules.
+	Seed int64
+}
+
+// Result is the outcome of location discovery for one agent.
+type Result struct {
+	// IsLeader reports whether this agent ended up as the leader.
+	IsLeader bool
+	// N is the discovered number of agents.
+	N int
+	// Positions[t] is the arc, in the agent's agreed clockwise direction,
+	// from its initial position to the initial position of the agent at ring
+	// distance t clockwise from it; Positions[0] = 0.  Half-ticks.
+	Positions []int64
+	// RoundsCoordination and RoundsDiscovery split the total cost into the
+	// o(n) coordination part and the main discovery part.
+	RoundsCoordination int
+	RoundsDiscovery    int
+}
+
+// LocationDiscovery solves location discovery in the given agent's model,
+// choosing the appropriate algorithm (see the package comment).
+func LocationDiscovery(a *engine.Agent, opts Options) (*Result, error) {
+	even := a.NParity() == engine.ParityEven
+	switch a.Model() {
+	case ring.Basic:
+		if even {
+			return nil, ErrNotSolvable
+		}
+		return sweepDiscovery(a, opts, 2)
+	case ring.Lazy:
+		return sweepDiscovery(a, opts, 1)
+	case ring.Perceptive:
+		if even {
+			return perceptiveDiscovery(a, opts)
+		}
+		return sweepDiscovery(a, opts, 2)
+	default:
+		return nil, fmt.Errorf("%w: unknown model %v", ErrProtocol, a.Model())
+	}
+}
+
+// perceptiveDiscovery adapts the Section V pipeline to the package's Result.
+func perceptiveDiscovery(a *engine.Agent, opts Options) (*Result, error) {
+	r, err := perceptive.LocationDiscovery(a, perceptive.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		IsLeader:           r.IsLeader,
+		N:                  r.N,
+		Positions:          r.Positions,
+		RoundsCoordination: r.RoundsCoordination + r.RoundsRingDist,
+		RoundsDiscovery:    r.RoundsDistances,
+	}, nil
+}
+
+// sweepDiscovery implements Lemma 16: after the coordination problems are
+// solved, the agents repeat a round with constant rotation index `step` (1 in
+// the lazy model: only the leader moves; 2 in the basic model with odd n: the
+// leader moves clockwise and everybody else anticlockwise).  Each round every
+// agent advances by `step` ring positions and measures the arc it traversed;
+// after exactly n rounds it is back at its pre-sweep slot, has visited every
+// slot (gcd(step, n) = 1) and therefore knows every initial position as well
+// as n itself.
+func sweepDiscovery(a *engine.Agent, opts Options, step int) (*Result, error) {
+	coord, err := core.Coordinate(a, core.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	f := coord.Frame
+	coordRounds := f.RoundsUsed()
+
+	dir := ring.Idle
+	if step == 2 {
+		dir = ring.Anticlockwise
+	}
+	if coord.IsLeader {
+		dir = ring.Clockwise
+	}
+
+	full := f.FullCircle()
+	start := f.Displacement()
+	visited := []int64{start}
+	for {
+		if _, err := f.Round(dir); err != nil {
+			return nil, err
+		}
+		d := f.Displacement()
+		if d == start {
+			break
+		}
+		visited = append(visited, d)
+		if len(visited) > int(full) {
+			return nil, fmt.Errorf("%w: sweep did not return to its start", ErrProtocol)
+		}
+	}
+	n := len(visited)
+
+	// Identify the sweep step at which the agent stood on its own initial
+	// position (displacement zero) and read everybody's position off the
+	// visited list: the slot visited at step j is step·j positions clockwise
+	// of the pre-sweep slot.
+	selfStep := -1
+	for j, v := range visited {
+		if ((v-0)%full+full)%full == 0 {
+			selfStep = j
+			break
+		}
+	}
+	if selfStep < 0 {
+		return nil, fmt.Errorf("%w: own initial position was not visited", ErrProtocol)
+	}
+	inv := 1
+	if step == 2 {
+		inv = (n + 1) / 2 // inverse of 2 modulo odd n
+	}
+	positions := make([]int64, n)
+	for t := 0; t < n; t++ {
+		j := (selfStep + t*inv) % n
+		positions[t] = ((visited[j]-visited[selfStep])%full + full) % full
+	}
+	return &Result{
+		IsLeader:           coord.IsLeader,
+		N:                  n,
+		Positions:          positions,
+		RoundsCoordination: coordRounds,
+		RoundsDiscovery:    f.RoundsUsed() - coordRounds,
+	}, nil
+}
+
+// LowerBoundRounds returns the worst-case lower bound of Lemma 6 on the
+// number of rounds needed for location discovery.
+func LowerBoundRounds(model ring.Model, n int) int {
+	if model == ring.Perceptive {
+		return n / 2
+	}
+	return n - 1
+}

@@ -1,0 +1,271 @@
+package discovery
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringsym/internal/engine"
+	"ringsym/internal/netgen"
+	"ringsym/internal/ring"
+)
+
+func newNetwork(t *testing.T, opt netgen.Options) *engine.Network {
+	t.Helper()
+	cfg, err := netgen.Generate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// checkPositions verifies a location-discovery result against the network's
+// ground truth, accepting either global orientation of the agreed frame but
+// requiring consistency.
+func checkPositions(t *testing.T, nw *engine.Network, outputs []*Result) {
+	t.Helper()
+	pos := nw.InitialPositions()
+	circ := nw.Circ()
+	n := nw.N()
+	leaders := 0
+	for i, r := range outputs {
+		if r.IsLeader {
+			leaders++
+		}
+		if r.N != n {
+			t.Fatalf("agent %d: discovered N = %d, want %d", i, r.N, n)
+		}
+		if len(r.Positions) != n || r.Positions[0] != 0 {
+			t.Fatalf("agent %d: malformed positions %v", i, r.Positions)
+		}
+		cwOK, ccwOK := true, true
+		for d := 0; d < n; d++ {
+			cwWant := 2 * (((pos[(i+d)%n]-pos[i])%circ + circ) % circ)
+			ccwWant := 2 * (((pos[i]-pos[((i-d)%n+n)%n])%circ + circ) % circ)
+			if r.Positions[d] != cwWant {
+				cwOK = false
+			}
+			if r.Positions[d] != ccwWant {
+				ccwOK = false
+			}
+		}
+		if !cwOK && !ccwOK {
+			t.Fatalf("agent %d: positions %v match neither orientation", i, r.Positions)
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want 1", leaders)
+	}
+}
+
+func runDiscovery(t *testing.T, nw *engine.Network, opts Options) []*Result {
+	t.Helper()
+	res, err := engine.Run(nw, func(a *engine.Agent) (*Result, error) {
+		return LocationDiscovery(a, opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Outputs
+}
+
+func TestLocationDiscoveryLazy(t *testing.T) {
+	for _, n := range []int{6, 9, 12} {
+		for _, common := range []bool{false, true} {
+			opt := netgen.Options{N: n, IDBound: 64, Seed: int64(n), Model: ring.Lazy}
+			if !common {
+				opt.MixedChirality = true
+				opt.ForceSplitChirality = true
+			}
+			nw := newNetwork(t, opt)
+			outputs := runDiscovery(t, nw, Options{CommonSense: common, Seed: 11})
+			checkPositions(t, nw, outputs)
+			// Lemma 16: the sweep itself takes exactly n rounds.
+			for i, r := range outputs {
+				if r.RoundsDiscovery != n {
+					t.Errorf("n=%d agent %d: sweep took %d rounds, want %d", n, i, r.RoundsDiscovery, n)
+				}
+			}
+		}
+	}
+}
+
+func TestLocationDiscoveryBasicOdd(t *testing.T) {
+	for _, n := range []int{7, 11} {
+		nw := newNetwork(t, netgen.Options{
+			N: n, IDBound: 64, Seed: int64(n), Model: ring.Basic,
+			MixedChirality: true, ForceSplitChirality: true,
+		})
+		outputs := runDiscovery(t, nw, Options{Seed: 3})
+		checkPositions(t, nw, outputs)
+		for i, r := range outputs {
+			if r.RoundsDiscovery != n {
+				t.Errorf("n=%d agent %d: sweep took %d rounds, want %d", n, i, r.RoundsDiscovery, n)
+			}
+		}
+	}
+}
+
+func TestLocationDiscoveryPerceptive(t *testing.T) {
+	for _, n := range []int{8, 12} {
+		nw := newNetwork(t, netgen.Options{
+			N: n, IDBound: 64, Seed: int64(n), Model: ring.Perceptive,
+			MixedChirality: true, ForceSplitChirality: true,
+		})
+		outputs := runDiscovery(t, nw, Options{Seed: 3})
+		checkPositions(t, nw, outputs)
+		// Theorem 42: the discovery stage costs n/2 rounds plus a constant
+		// overhead (three pivots and one completeness probe pair).
+		for i, r := range outputs {
+			if r.RoundsDiscovery > n/2+5 {
+				t.Errorf("n=%d agent %d: perceptive discovery used %d rounds, expected about n/2", n, i, r.RoundsDiscovery)
+			}
+		}
+	}
+	// Odd n in the perceptive model falls back to the sweep.
+	nw := newNetwork(t, netgen.Options{N: 9, IDBound: 64, Seed: 5, Model: ring.Perceptive, MixedChirality: true, ForceSplitChirality: true})
+	checkPositions(t, nw, runDiscovery(t, nw, Options{Seed: 3}))
+}
+
+func TestLocationDiscoveryBasicEvenImpossible(t *testing.T) {
+	nw := newNetwork(t, netgen.Options{N: 8, IDBound: 64, Seed: 2, Model: ring.Basic})
+	_, err := engine.Run(nw, func(a *engine.Agent) (*Result, error) {
+		return LocationDiscovery(a, Options{})
+	})
+	if !errors.Is(err, ErrNotSolvable) {
+		t.Fatalf("got %v, want ErrNotSolvable", err)
+	}
+}
+
+func TestLowerBoundRounds(t *testing.T) {
+	if LowerBoundRounds(ring.Basic, 10) != 9 || LowerBoundRounds(ring.Lazy, 10) != 9 {
+		t.Error("basic/lazy lower bound should be n-1")
+	}
+	if LowerBoundRounds(ring.Perceptive, 10) != 5 {
+		t.Error("perceptive lower bound should be n/2")
+	}
+}
+
+func TestTwinConfigurationValidation(t *testing.T) {
+	circ := int64(1000)
+	positions := []int64{0, 100, 300, 600}
+	if _, err := TwinConfiguration(circ, []int64{0, 100, 300}, 5); err == nil {
+		t.Error("odd n accepted")
+	}
+	if _, err := TwinConfiguration(circ, []int64{100, 0, 300, 600}, 5); err == nil {
+		t.Error("unsorted positions accepted")
+	}
+	if _, err := TwinConfiguration(circ, positions, 0); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	if _, err := TwinConfiguration(circ, positions, 100000); err == nil {
+		t.Error("oversized delta accepted")
+	}
+	twin, err := TwinConfiguration(circ, positions, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 110, 300, 610}
+	for i := range want {
+		if twin[i] != want[i] {
+			t.Fatalf("twin = %v, want %v", twin, want)
+		}
+	}
+}
+
+// TestLemma5TwinWorldsIndistinguishable verifies the impossibility argument:
+// for any schedule of basic-model rounds, the original configuration and its
+// alternating perturbation generate identical observations for every agent,
+// even though the configurations differ.
+func TestLemma5TwinWorldsIndistinguishable(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 6 + 2*r.Intn(6) // even, 6..16
+		circ := int64(1 << 16)
+		cfg := netgen.MustGenerate(netgen.Options{N: n, Circ: circ, Seed: seed, Model: ring.Basic})
+		positions := cfg.Positions
+		twin, err := TwinConfiguration(circ, positions, 1)
+		if err != nil {
+			return false
+		}
+		// The twin really is a different world.
+		same := true
+		for i := range twin {
+			if twin[i] != positions[i] {
+				same = false
+			}
+		}
+		if same {
+			return false
+		}
+		schedule := make([][]ring.Direction, 30)
+		for t := range schedule {
+			dirs := make([]ring.Direction, n)
+			for i := range dirs {
+				if r.Intn(2) == 0 {
+					dirs[i] = ring.Clockwise
+				} else {
+					dirs[i] = ring.Anticlockwise
+				}
+			}
+			schedule[t] = dirs
+		}
+		eq, err := ObservationallyEquivalent(circ, positions, twin, schedule)
+		return err == nil && eq
+	}, &quick.Config{MaxCount: 40, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma5PerceptiveDistinguishes shows the contrast: with coll() available
+// the two twin worlds are distinguishable (some agent observes a different
+// first collision), which is why the perceptive model escapes Lemma 5.
+func TestLemma5PerceptiveDistinguishes(t *testing.T) {
+	circ := int64(1 << 12)
+	cfg := netgen.MustGenerate(netgen.Options{N: 8, Circ: circ, Seed: 4, Model: ring.Perceptive})
+	positions := cfg.Positions
+	twin, err := TwinConfiguration(circ, positions, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA, err := ring.New(ring.Config{Model: ring.Perceptive, Circ: circ, Positions: positions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := ring.New(ring.Config{Model: ring.Perceptive, Circ: circ, Positions: twin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]ring.Direction, 8)
+	for i := range dirs {
+		if i%2 == 0 {
+			dirs[i] = ring.Clockwise
+		} else {
+			dirs[i] = ring.Anticlockwise
+		}
+	}
+	outA, err := stA.ExecuteRound(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := stB.ExecuteRound(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := false
+	for i := range outA.Agents {
+		if outA.Agents[i].Coll != outB.Agents[i].Coll {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("coll() observations should differ between the twin worlds")
+	}
+}

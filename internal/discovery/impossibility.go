@@ -1,0 +1,80 @@
+package discovery
+
+import (
+	"fmt"
+
+	"ringsym/internal/geom"
+	"ringsym/internal/ring"
+)
+
+// TwinConfiguration builds the Lemma 5 counterexample: for an even number of
+// agents it perturbs the gaps alternately by +delta and −delta
+// (x'_i = x_i + (−1)^i·delta), which changes the positions of the
+// odd-indexed agents while leaving every even-length arc — and therefore
+// every observation available in the basic model — unchanged.  Any protocol
+// of the basic model behaves identically on the two configurations, so no
+// agent can ever learn the gaps individually: location discovery is
+// unsolvable.
+//
+// delta must be positive and smaller than every odd-indexed gap so that the
+// perturbed configuration is still a valid one.
+func TwinConfiguration(circ int64, positions []int64, delta int64) ([]int64, error) {
+	n := len(positions)
+	if n%2 != 0 {
+		return nil, fmt.Errorf("%w: the Lemma 5 construction needs an even number of agents", ErrProtocol)
+	}
+	if !geom.SortedDistinct(circ, positions) {
+		return nil, fmt.Errorf("%w: positions must be sorted and distinct", ErrProtocol)
+	}
+	circle, err := geom.New(circ)
+	if err != nil {
+		return nil, err
+	}
+	gaps := circle.Gaps(positions)
+	if delta <= 0 {
+		return nil, fmt.Errorf("%w: delta must be positive", ErrProtocol)
+	}
+	for i := 1; i < n; i += 2 {
+		if delta >= gaps[i] {
+			return nil, fmt.Errorf("%w: delta %d not smaller than gap %d at index %d", ErrProtocol, delta, gaps[i], i)
+		}
+	}
+	twin := make([]int64, n)
+	copy(twin, positions)
+	for j := 1; j < n; j += 2 {
+		twin[j] = positions[j] + delta
+	}
+	return twin, nil
+}
+
+// ObservationallyEquivalent executes the same schedule of objective direction
+// assignments on two configurations and reports whether every agent receives
+// exactly the same dist() observation in every round.  It is used to verify
+// the Lemma 5 construction: with only dist() available (basic model), twin
+// configurations cannot be told apart by any protocol.
+func ObservationallyEquivalent(circ int64, posA, posB []int64, schedule [][]ring.Direction) (bool, error) {
+	stA, err := ring.New(ring.Config{Model: ring.Basic, Circ: circ, Positions: posA, AllowSmall: true})
+	if err != nil {
+		return false, err
+	}
+	stB, err := ring.New(ring.Config{Model: ring.Basic, Circ: circ, Positions: posB, AllowSmall: true})
+	if err != nil {
+		return false, err
+	}
+	for _, dirs := range schedule {
+		outA, err := stA.ExecuteRound(dirs)
+		if err != nil {
+			return false, err
+		}
+		outB, err := stB.ExecuteRound(dirs)
+		if err != nil {
+			return false, err
+		}
+		for i := range outA.Agents {
+			if outA.Agents[i].DistCW != outB.Agents[i].DistCW {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

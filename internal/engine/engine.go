@@ -1,0 +1,454 @@
+// Package engine provides the synchronous distributed runtime on which the
+// paper's protocols execute.
+//
+// Every agent runs as its own goroutine and only interacts with the world
+// through its Agent handle: it knows its unique identifier, the identifier
+// bound N, the parity of n and nothing else.  Calling Agent.Round submits the
+// direction the agent chooses for the next round (expressed in the agent's
+// own, private sense of direction) and blocks until every agent has chosen;
+// the coordinator then executes the round on the exact analytic engine
+// (internal/ring) and hands each agent its observation, translated back into
+// its own frame.
+//
+// The coordinator/agent rendezvous is what the round-based model of the paper
+// calls a "synchronised round"; goroutines and channels play the role of the
+// physical agents and the shared ring.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ringsym/internal/ring"
+)
+
+// Parity is what an agent knows about the size n of the network.
+type Parity int8
+
+const (
+	// ParityUnknown means the agent was not told the parity of n.
+	ParityUnknown Parity = iota
+	// ParityEven means n is even.
+	ParityEven
+	// ParityOdd means n is odd.
+	ParityOdd
+)
+
+// String implements fmt.Stringer.
+func (p Parity) String() string {
+	switch p {
+	case ParityEven:
+		return "even"
+	case ParityOdd:
+		return "odd"
+	default:
+		return "unknown"
+	}
+}
+
+// Errors returned by the engine.
+var (
+	ErrBadIDs          = errors.New("engine: IDs must be unique and within [1, IDBound]")
+	ErrBadChirality    = errors.New("engine: chirality slice length must match positions")
+	ErrMaxRoundsExceed = errors.New("engine: maximum number of rounds exceeded")
+	ErrNetworkBroken   = errors.New("engine: network is in a failed state")
+	ErrIdleNotAllowed  = errors.New("engine: idle is only allowed in the lazy model")
+	ErrBadDirection    = errors.New("engine: invalid direction")
+	ErrProtocolPanic   = errors.New("engine: protocol panicked")
+)
+
+// DefaultMaxRounds bounds runaway protocols when Config.MaxRounds is zero.
+const DefaultMaxRounds = 50_000_000
+
+// Config describes a network to be constructed with New.
+type Config struct {
+	// Model is the movement model (basic, lazy or perceptive).
+	Model ring.Model
+	// Circ is the circumference in ticks (positive, even).
+	Circ int64
+	// Positions holds the starting positions in ticks sorted strictly
+	// clockwise; Positions[i] belongs to the agent with ring index i.
+	Positions []int64
+	// IDs holds the unique identifiers (1..IDBound) by ring index.
+	IDs []int
+	// IDBound is the value N known to every agent.
+	IDBound int
+	// Chirality[i] is true when agent i's own clockwise direction coincides
+	// with the global clockwise direction.  A nil slice means every agent is
+	// correctly oriented.
+	Chirality []bool
+	// HideParity withholds the parity of n from the agents (the paper
+	// normally assumes the parity is known).
+	HideParity bool
+	// MaxRounds aborts a run that exceeds this many rounds; 0 means
+	// DefaultMaxRounds.
+	MaxRounds int
+	// AllowSmall permits n <= 4 (excluded by the paper, useful in tests).
+	AllowSmall bool
+}
+
+// Observation is what an agent learns at the end of a round, in its own frame.
+// Arc values are in half-ticks; the full circle is Agent.FullCircle().
+type Observation struct {
+	// Dist is dist(): the arc from the agent's position at the beginning of
+	// the round to its position at the end, measured in the agent's own
+	// clockwise direction.
+	Dist int64
+	// Coll is coll(): the arc travelled before the agent's first collision.
+	// Only meaningful when Collided is true (perceptive model).
+	Coll int64
+	// Collided reports whether the agent collided during the round
+	// (perceptive model only).
+	Collided bool
+}
+
+// Network owns the objective ring state and coordinates rounds.
+type Network struct {
+	cfg     Config
+	state   *ring.State
+	agents  []*Agent
+	idToIdx map[int]int
+
+	mu     sync.Mutex
+	broken error
+}
+
+// Agent is the handle through which a protocol acts.  An Agent is only valid
+// inside the protocol invocation it was created for and must not be shared
+// across goroutines.
+type Agent struct {
+	nw        *Network
+	idx       int // ring index (never revealed to protocols)
+	id        int
+	idBound   int
+	parity    Parity
+	model     ring.Model
+	chirality bool
+	rounds    int
+	disp      int64
+
+	reqCh   chan<- roundRequest
+	replyCh chan roundReply
+}
+
+type roundRequest struct {
+	idx   int
+	dir   ring.Direction // objective direction
+	done  bool
+	reply chan roundReply
+}
+
+type roundReply struct {
+	obs ring.Observation
+	err error
+}
+
+// New validates cfg and builds the network.
+func New(cfg Config) (*Network, error) {
+	st, err := ring.New(ring.Config{
+		Model:      cfg.Model,
+		Circ:       cfg.Circ,
+		Positions:  cfg.Positions,
+		AllowSmall: cfg.AllowSmall,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	n := len(cfg.Positions)
+	if len(cfg.IDs) != n {
+		return nil, fmt.Errorf("%w: got %d IDs for %d agents", ErrBadIDs, len(cfg.IDs), n)
+	}
+	if cfg.IDBound < n {
+		return nil, fmt.Errorf("%w: IDBound %d < n %d", ErrBadIDs, cfg.IDBound, n)
+	}
+	idToIdx := make(map[int]int, n)
+	for i, id := range cfg.IDs {
+		if id < 1 || id > cfg.IDBound {
+			return nil, fmt.Errorf("%w: ID %d out of range", ErrBadIDs, id)
+		}
+		if _, dup := idToIdx[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate ID %d", ErrBadIDs, id)
+		}
+		idToIdx[id] = i
+	}
+	if cfg.Chirality != nil && len(cfg.Chirality) != n {
+		return nil, ErrBadChirality
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	nw := &Network{cfg: cfg, state: st, idToIdx: idToIdx}
+	return nw, nil
+}
+
+// N returns the number of agents (not revealed to protocols).
+func (nw *Network) N() int { return len(nw.cfg.Positions) }
+
+// Model returns the movement model.
+func (nw *Network) Model() ring.Model { return nw.cfg.Model }
+
+// Circ returns the circumference in ticks.
+func (nw *Network) Circ() int64 { return nw.cfg.Circ }
+
+// Rounds returns the number of rounds executed so far.
+func (nw *Network) Rounds() int { return nw.state.Rounds() }
+
+// IDOf returns the ID of the agent with ring index i.
+func (nw *Network) IDOf(i int) int { return nw.cfg.IDs[i] }
+
+// IndexOfID returns the ring index of the agent with the given ID, or -1.
+func (nw *Network) IndexOfID(id int) int {
+	if idx, ok := nw.idToIdx[id]; ok {
+		return idx
+	}
+	return -1
+}
+
+// ChiralityOf reports whether agent i's own clockwise equals the global one.
+func (nw *Network) ChiralityOf(i int) bool {
+	if nw.cfg.Chirality == nil {
+		return true
+	}
+	return nw.cfg.Chirality[i]
+}
+
+// InitialPositions returns the starting positions by ring index (ticks).
+func (nw *Network) InitialPositions() []int64 {
+	out := make([]int64, len(nw.cfg.Positions))
+	copy(out, nw.cfg.Positions)
+	return out
+}
+
+// CurrentPositions returns the current positions by ring index (ticks).
+func (nw *Network) CurrentPositions() []int64 {
+	n := nw.N()
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = nw.state.PositionOf(i)
+	}
+	return out
+}
+
+// Gaps returns the clockwise gaps between consecutive slot positions (ticks).
+func (nw *Network) Gaps() []int64 { return nw.state.Gaps() }
+
+// FullCircle returns the circumference in observation units (half-ticks).
+func (nw *Network) FullCircle() int64 { return nw.state.FullCircle() }
+
+// parity of the actual network size.
+func (nw *Network) parity() Parity {
+	if nw.cfg.HideParity {
+		return ParityUnknown
+	}
+	if nw.N()%2 == 0 {
+		return ParityEven
+	}
+	return ParityOdd
+}
+
+// Result carries the outcome of running a protocol on every agent.
+type Result[T any] struct {
+	// Rounds is the total number of rounds consumed by the run.
+	Rounds int
+	// Outputs holds each agent's protocol return value, by ring index.
+	Outputs []T
+}
+
+// Run executes protocol on every agent concurrently and waits for all of
+// them.  It returns the per-agent outputs (indexed by ring index) and the
+// number of rounds consumed.  Protocol errors from different agents are
+// joined into a single error.
+func Run[T any](nw *Network, protocol func(a *Agent) (T, error)) (*Result[T], error) {
+	n := nw.N()
+	startRounds := nw.state.Rounds()
+	reqCh := make(chan roundRequest)
+
+	agents := make([]*Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = &Agent{
+			nw:        nw,
+			idx:       i,
+			id:        nw.cfg.IDs[i],
+			idBound:   nw.cfg.IDBound,
+			parity:    nw.parity(),
+			model:     nw.cfg.Model,
+			chirality: nw.ChiralityOf(i),
+			reqCh:     reqCh,
+			replyCh:   make(chan roundReply, 1),
+		}
+	}
+	nw.agents = agents
+
+	outputs := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(a *Agent) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[a.idx] = fmt.Errorf("%w: %v", ErrProtocolPanic, r)
+				}
+				// Always announce completion so the coordinator can finish.
+				a.reqCh <- roundRequest{idx: a.idx, done: true}
+			}()
+			out, err := protocol(a)
+			outputs[a.idx] = out
+			errs[a.idx] = err
+		}(agents[i])
+	}
+
+	coordErr := nw.coordinate(reqCh, n)
+	wg.Wait()
+
+	res := &Result[T]{Rounds: nw.state.Rounds() - startRounds, Outputs: outputs}
+	all := make([]error, 0, n+1)
+	if coordErr != nil {
+		all = append(all, coordErr)
+	}
+	for i, err := range errs {
+		if err != nil {
+			all = append(all, fmt.Errorf("agent id %d: %w", nw.cfg.IDs[i], err))
+		}
+	}
+	if len(all) > 0 {
+		return res, errors.Join(all...)
+	}
+	return res, nil
+}
+
+// coordinate runs the barrier loop until every agent goroutine has reported
+// completion.  Agents whose protocol already finished are given their default
+// direction (their own clockwise) in any remaining rounds, since the model
+// requires everybody to act in every round.
+func (nw *Network) coordinate(reqCh <-chan roundRequest, n int) error {
+	active := n
+	var firstErr error
+	for active > 0 {
+		pending := make([]roundRequest, 0, active)
+		want := active
+		for received := 0; received < want; received++ {
+			req := <-reqCh
+			if req.done {
+				active--
+				continue
+			}
+			pending = append(pending, req)
+		}
+		if len(pending) == 0 {
+			continue
+		}
+
+		var reply roundReply
+		if nw.state.Rounds() >= nw.cfg.MaxRounds {
+			reply.err = fmt.Errorf("%w (%d)", ErrMaxRoundsExceed, nw.cfg.MaxRounds)
+		} else if nw.broken != nil {
+			reply.err = fmt.Errorf("%w: %w", ErrNetworkBroken, nw.broken)
+		}
+		if reply.err != nil {
+			if firstErr == nil {
+				firstErr = reply.err
+			}
+			for _, req := range pending {
+				req.reply <- reply
+			}
+			continue
+		}
+
+		dirs := make([]ring.Direction, n)
+		for i := range dirs {
+			// Default for agents that are no longer (or not yet) submitting:
+			// move in their own clockwise direction.
+			dirs[i] = nw.objectiveDir(i, ring.Clockwise)
+		}
+		for _, req := range pending {
+			dirs[req.idx] = req.dir
+		}
+		out, err := nw.state.ExecuteRound(dirs)
+		if err != nil {
+			// Should be impossible: directions are validated per agent
+			// before submission.  Mark the network broken and fail everyone.
+			nw.broken = err
+			if firstErr == nil {
+				firstErr = err
+			}
+			for _, req := range pending {
+				req.reply <- roundReply{err: fmt.Errorf("%w: %w", ErrNetworkBroken, err)}
+			}
+			continue
+		}
+		for _, req := range pending {
+			req.reply <- roundReply{obs: out.Agents[req.idx]}
+		}
+	}
+	return firstErr
+}
+
+// objectiveDir translates agent i's own-frame direction into the global frame.
+func (nw *Network) objectiveDir(i int, own ring.Direction) ring.Direction {
+	if own == ring.Idle || nw.ChiralityOf(i) {
+		return own
+	}
+	return own.Opposite()
+}
+
+// ID returns the agent's unique identifier.
+func (a *Agent) ID() int { return a.id }
+
+// IDBound returns N, the publicly known bound on identifiers.
+func (a *Agent) IDBound() int { return a.idBound }
+
+// NParity returns what the agent knows about the parity of n.
+func (a *Agent) NParity() Parity { return a.parity }
+
+// Model returns the movement model in force.
+func (a *Agent) Model() ring.Model { return a.model }
+
+// FullCircle returns the circumference of the ring in observation units
+// (half-ticks); the paper normalises it to 1.
+func (a *Agent) FullCircle() int64 { return a.nw.state.FullCircle() }
+
+// RoundsUsed returns how many rounds this agent has participated in during
+// the current run.
+func (a *Agent) RoundsUsed() int { return a.rounds }
+
+// Displacement returns the cumulative displacement of the agent since it was
+// created, measured in its own clockwise direction modulo the full circle
+// (half-ticks).  An agent always knows the arc between its initial and its
+// current position by summing its dist() observations.
+func (a *Agent) Displacement() int64 { return a.disp }
+
+// Round submits the agent's chosen direction (in its own frame) for the next
+// round, blocks until the round has been executed, and returns the agent's
+// observation translated into its own frame.
+func (a *Agent) Round(dir ring.Direction) (Observation, error) {
+	switch dir {
+	case ring.Clockwise, ring.Anticlockwise:
+	case ring.Idle:
+		if !a.model.AllowsIdle() {
+			return Observation{}, ErrIdleNotAllowed
+		}
+	default:
+		return Observation{}, fmt.Errorf("%w: %d", ErrBadDirection, int8(dir))
+	}
+	objective := dir
+	if !a.chirality && dir != ring.Idle {
+		objective = dir.Opposite()
+	}
+	a.reqCh <- roundRequest{idx: a.idx, dir: objective, reply: a.replyCh}
+	rep := <-a.replyCh
+	if rep.err != nil {
+		return Observation{}, rep.err
+	}
+	a.rounds++
+	obs := Observation{Collided: rep.obs.Collided, Coll: rep.obs.Coll}
+	if a.chirality || rep.obs.DistCW == 0 {
+		obs.Dist = rep.obs.DistCW
+	} else {
+		obs.Dist = a.FullCircle() - rep.obs.DistCW
+	}
+	a.disp = (a.disp + obs.Dist) % a.FullCircle()
+	return obs, nil
+}

@@ -1,0 +1,302 @@
+// Package eval is the experiment harness that regenerates the evaluation of
+// the paper: Table I and Table II (round complexities of the coordination and
+// location-discovery problems across models and parities), the reduction
+// complexities of Figures 1 and 2, the RingDist behaviour illustrated by
+// Figure 3, and the distinguisher-size experiments behind Section IV
+// (Corollaries 26-29).
+//
+// Every measurement runs real protocols on the simulated ring and reports the
+// observed number of rounds next to the theoretical bound of the paper.  The
+// harness is used both by cmd/benchtables and by the testing.B benchmarks in
+// the repository root.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ringsym/internal/comb"
+	"ringsym/internal/core"
+	"ringsym/internal/discovery"
+	"ringsym/internal/engine"
+	"ringsym/internal/netgen"
+	"ringsym/internal/perceptive"
+	"ringsym/internal/ring"
+)
+
+// Problem identifies one of the paper's problems.
+type Problem string
+
+// Problems measured by the harness.
+const (
+	LeaderElection     Problem = "leader election"
+	NontrivialMove     Problem = "nontrivial move"
+	DirectionAgreement Problem = "direction agreement"
+	LocationDiscovery  Problem = "location discovery"
+)
+
+// Setting identifies a row of Table I / Table II.
+type Setting struct {
+	// Name is the row label used by the paper.
+	Name string
+	// Model is the movement model.
+	Model ring.Model
+	// OddN selects an odd number of agents.
+	OddN bool
+	// CommonSense marks the Table II variant (a-priori common direction).
+	CommonSense bool
+}
+
+// Table1Settings are the rows of Table I (no common sense of direction;
+// orientations are adversarially mixed).
+func Table1Settings() []Setting {
+	return []Setting{
+		{Name: "odd n", Model: ring.Basic, OddN: true},
+		{Name: "basic model, even n", Model: ring.Basic},
+		{Name: "lazy model, even n", Model: ring.Lazy},
+		{Name: "perceptive model, even n", Model: ring.Perceptive},
+	}
+}
+
+// Table2Settings are the rows of Table II (common sense of direction).
+func Table2Settings() []Setting {
+	return []Setting{
+		{Name: "odd n", Model: ring.Basic, OddN: true, CommonSense: true},
+		{Name: "basic model, even n", Model: ring.Basic, CommonSense: true},
+		{Name: "lazy model, even n", Model: ring.Lazy, CommonSense: true},
+		{Name: "perceptive model, even n", Model: ring.Perceptive, CommonSense: true},
+	}
+}
+
+// Measurement is one measured cell sample.
+type Measurement struct {
+	Setting  Setting
+	Problem  Problem
+	N        int
+	IDBound  int
+	Rounds   int
+	Bound    float64
+	BoundStr string
+	Solvable bool
+}
+
+// SweepConfig controls a table sweep.
+type SweepConfig struct {
+	// Sizes are the network sizes n to measure (adjusted by one to match the
+	// parity of the setting).
+	Sizes []int
+	// IDBoundFactor sets N = IDBoundFactor·n (defaults to 4).
+	IDBoundFactor int
+	// Seed drives the pseudo-random configurations and schedules.
+	Seed int64
+}
+
+func (c *SweepConfig) fill() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{16, 32, 64, 128}
+	}
+	if c.IDBoundFactor <= 0 {
+		c.IDBoundFactor = 4
+	}
+}
+
+// adjustParity nudges n to the parity required by the setting.
+func adjustParity(n int, odd bool) int {
+	if odd == (n%2 == 1) {
+		return n
+	}
+	return n + 1
+}
+
+// network builds the network for one sample of a setting.
+func network(s Setting, n, idBound int, seed int64) (*engine.Network, error) {
+	cfg, err := netgen.Generate(netgen.Options{
+		N:                   n,
+		IDBound:             idBound,
+		Model:               s.Model,
+		MixedChirality:      !s.CommonSense,
+		ForceSplitChirality: !s.CommonSense,
+		Seed:                seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(cfg)
+}
+
+// MeasureCoordination measures, for one configuration, the from-scratch round
+// cost of the three coordination problems (each cost is the number of rounds
+// after which the corresponding problem is solved).
+func MeasureCoordination(s Setting, n, idBound int, seed int64) (nm, da, le int, err error) {
+	nw, err := network(s, n, idBound, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res, err := engine.Run(nw, func(a *engine.Agent) (*core.Coordination, error) {
+		if s.Model == ring.Perceptive && !s.CommonSense {
+			return perceptive.Coordinate(a, perceptive.Options{Seed: seed})
+		}
+		return core.Coordinate(a, core.Options{CommonSense: s.CommonSense, Seed: seed})
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c := res.Outputs[0]
+	if s.CommonSense {
+		// Direction agreement is given; leader election comes first and the
+		// nontrivial move is derived from the leader (Lemma 10).
+		le = c.RoundsLeader
+		nm = c.RoundsLeader + c.RoundsNontrivial
+		da = 0
+		return nm, da, le, nil
+	}
+	nm = c.RoundsNontrivial
+	da = c.RoundsNontrivial + c.RoundsAgreement
+	le = da + c.RoundsLeader
+	return nm, da, le, nil
+}
+
+// MeasureLocationDiscovery measures the total location-discovery cost and its
+// split into the o(n) coordination part and the main discovery part.  The
+// second return value is false when the problem is unsolvable in the setting
+// (Lemma 5).
+func MeasureLocationDiscovery(s Setting, n, idBound int, seed int64) (total, coordination, main int, solvable bool, err error) {
+	if s.Model == ring.Basic && !s.OddN {
+		return 0, 0, 0, false, nil
+	}
+	nw, err := network(s, n, idBound, seed)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	res, err := engine.Run(nw, func(a *engine.Agent) (*discovery.Result, error) {
+		return discovery.LocationDiscovery(a, discovery.Options{CommonSense: s.CommonSense, Seed: seed})
+	})
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	out := res.Outputs[0]
+	return res.Rounds, out.RoundsCoordination, out.RoundsDiscovery, true, nil
+}
+
+// Bound returns the paper's asymptotic bound (as a plain formula without the
+// hidden constant) and its human-readable form for a cell.
+func Bound(s Setting, p Problem, n, idBound int) (float64, string) {
+	logN := comb.Log2(float64(idBound))
+	logNn := comb.Log2(float64(idBound) / float64(n))
+	logn := comb.Log2(float64(n))
+	sqrtn := math.Sqrt(float64(n))
+	fn := float64(n)
+
+	if s.CommonSense {
+		switch {
+		case p == LocationDiscovery && s.Model == ring.Basic && !s.OddN:
+			return 0, "not solvable"
+		case p == LocationDiscovery && s.Model == ring.Perceptive && !s.OddN:
+			return fn/2 + sqrtn*logN, "n/2 + O(sqrt(n) log N)"
+		case p == LocationDiscovery:
+			return fn + logN, "n + O(log N)"
+		case p == NontrivialMove && s.OddN:
+			return logNn, "Theta(log(N/n))"
+		case s.Model == ring.Basic && !s.OddN:
+			return logN * logN, "O(log^2 N)"
+		default:
+			return logN, "O(log N)"
+		}
+	}
+	switch s.Model {
+	case ring.Basic, ring.Lazy:
+		if s.OddN {
+			switch p {
+			case LeaderElection:
+				return logN, "O(log N)"
+			case NontrivialMove:
+				return logNn, "Theta(log(N/n))"
+			case DirectionAgreement:
+				return 1, "O(1)"
+			case LocationDiscovery:
+				return fn + logN, "n + O(log N)"
+			}
+		}
+		coord := fn * logNn / logn
+		if p == LocationDiscovery {
+			if s.Model == ring.Basic {
+				return 0, "not solvable"
+			}
+			return fn + coord, "n + Theta(n log(N/n)/log n)"
+		}
+		return coord, "Theta(n log(N/n)/log n)"
+	case ring.Perceptive:
+		if p == LocationDiscovery {
+			return fn/2 + sqrtn*logN*logN, "n/2 + O(sqrt(n) log^2 N)"
+		}
+		return sqrtn * logN, "O(sqrt(n) log N)"
+	}
+	return 0, "?"
+}
+
+// TableRows measures every cell of the given settings for the sweep.
+func TableRows(settings []Setting, cfg SweepConfig) ([]Measurement, error) {
+	cfg.fill()
+	var out []Measurement
+	for _, s := range settings {
+		problems := []Problem{LeaderElection, NontrivialMove, DirectionAgreement, LocationDiscovery}
+		if s.CommonSense {
+			// Table II has no direction-agreement column: it is given.
+			problems = []Problem{LeaderElection, NontrivialMove, LocationDiscovery}
+		}
+		for _, rawN := range cfg.Sizes {
+			n := adjustParity(rawN, s.OddN)
+			idBound := cfg.IDBoundFactor * n
+			nm, da, le, err := MeasureCoordination(s, n, idBound, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s n=%d: %w", s.Name, n, err)
+			}
+			ldTotal, _, _, solvable, err := MeasureLocationDiscovery(s, n, idBound, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s n=%d location discovery: %w", s.Name, n, err)
+			}
+			rounds := map[Problem]int{
+				LeaderElection:     le,
+				NontrivialMove:     nm,
+				DirectionAgreement: da,
+				LocationDiscovery:  ldTotal,
+			}
+			for _, p := range problems {
+				bound, boundStr := Bound(s, p, n, idBound)
+				m := Measurement{
+					Setting: s, Problem: p, N: n, IDBound: idBound,
+					Rounds: rounds[p], Bound: bound, BoundStr: boundStr,
+					Solvable: true,
+				}
+				if p == LocationDiscovery && !solvable {
+					m.Solvable = false
+					m.Rounds = 0
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Format renders measurements as a text table grouped by setting.
+func Format(title string, ms []Measurement) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	var lastSetting string
+	for _, m := range ms {
+		if m.Setting.Name != lastSetting {
+			lastSetting = m.Setting.Name
+			fmt.Fprintf(&b, "\n[%s]  (model=%s, common sense=%v)\n", m.Setting.Name, m.Setting.Model, m.Setting.CommonSense)
+			fmt.Fprintf(&b, "  %-22s %6s %8s %10s %12s  %s\n", "problem", "n", "N", "rounds", "bound", "paper bound")
+		}
+		rounds := fmt.Sprintf("%d", m.Rounds)
+		if !m.Solvable {
+			rounds = "-"
+		}
+		fmt.Fprintf(&b, "  %-22s %6d %8d %10s %12.1f  %s\n",
+			string(m.Problem), m.N, m.IDBound, rounds, m.Bound, m.BoundStr)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+// Package geom provides exact integer arithmetic on a circle.
+//
+// The ring of the paper has circumference 1; this package represents it with
+// an integer circumference C ("ticks").  All positions are integers in
+// [0, C).  Observable quantities of the model (dist(), coll()) are reported
+// in half-ticks elsewhere so that midpoints of integer gaps stay exact; this
+// package itself only deals in whole ticks.
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadCircumference is returned when a circle is constructed with a
+// non-positive or odd circumference.
+var ErrBadCircumference = errors.New("geom: circumference must be positive and even")
+
+// Circle is a circle with integer circumference.  Positions grow in the
+// clockwise direction and wrap at Circ.
+//
+// The zero value is not usable; construct with New.
+type Circle struct {
+	circ int64
+}
+
+// New returns a circle of circumference circ.  The circumference must be
+// positive and even so that midpoints of arcs between integer positions are
+// representable in half-ticks.
+func New(circ int64) (Circle, error) {
+	if circ <= 0 || circ%2 != 0 {
+		return Circle{}, fmt.Errorf("%w: got %d", ErrBadCircumference, circ)
+	}
+	return Circle{circ: circ}, nil
+}
+
+// MustNew is New but panics on error.  It is intended for tests and examples
+// with constant arguments.
+func MustNew(circ int64) Circle {
+	c, err := New(circ)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Circ returns the circumference in ticks.
+func (c Circle) Circ() int64 { return c.circ }
+
+// Norm maps an arbitrary integer onto the canonical position range [0, Circ).
+func (c Circle) Norm(x int64) int64 {
+	x %= c.circ
+	if x < 0 {
+		x += c.circ
+	}
+	return x
+}
+
+// Add moves position p by d ticks clockwise (d may be negative).
+func (c Circle) Add(p, d int64) int64 { return c.Norm(p + d) }
+
+// CWDist returns the clockwise arc length from from to to, in [0, Circ).
+func (c Circle) CWDist(from, to int64) int64 { return c.Norm(to - from) }
+
+// CCWDist returns the anticlockwise arc length from from to to, in [0, Circ).
+func (c Circle) CCWDist(from, to int64) int64 { return c.Norm(from - to) }
+
+// Contains reports whether position p lies on the closed clockwise arc that
+// starts at from and extends d ticks (0 <= d < Circ).
+func (c Circle) Contains(from, d, p int64) bool {
+	return c.CWDist(from, p) <= c.Norm(d)
+}
+
+// SortedDistinct reports whether positions are strictly increasing and all lie
+// in [0, circ).  The engine requires configurations in this canonical form so
+// that the i-th position is the i-th agent in clockwise order.
+func SortedDistinct(circ int64, positions []int64) bool {
+	for i, p := range positions {
+		if p < 0 || p >= circ {
+			return false
+		}
+		if i > 0 && positions[i-1] >= p {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonicalize sorts positions clockwise starting from the smallest and
+// verifies they are distinct and within range.  It returns a new slice and
+// the permutation perm such that out[i] = positions[perm[i]].
+func Canonicalize(circ int64, positions []int64) (out []int64, perm []int, err error) {
+	n := len(positions)
+	perm = make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return positions[perm[a]] < positions[perm[b]] })
+	out = make([]int64, n)
+	for i, p := range perm {
+		v := positions[p]
+		if v < 0 || v >= circ {
+			return nil, nil, fmt.Errorf("geom: position %d out of range [0,%d)", v, circ)
+		}
+		out[i] = v
+		if i > 0 && out[i-1] == v {
+			return nil, nil, fmt.Errorf("geom: duplicate position %d", v)
+		}
+	}
+	return out, perm, nil
+}
+
+// Gaps returns the clockwise gaps between consecutive positions: gap[i] is the
+// arc from positions[i] to positions[(i+1)%n].  positions must be sorted
+// clockwise (see SortedDistinct); the gaps sum to the circumference.
+func (c Circle) Gaps(positions []int64) []int64 {
+	n := len(positions)
+	gaps := make([]int64, n)
+	for i := 0; i < n; i++ {
+		gaps[i] = c.CWDist(positions[i], positions[(i+1)%n])
+	}
+	return gaps
+}

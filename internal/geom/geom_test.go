@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadCircumference(t *testing.T) {
+	for _, c := range []int64{0, -2, 1, 3, 999} {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%d): expected error", c)
+		}
+	}
+	if _, err := New(1024); err != nil {
+		t.Fatalf("New(1024): %v", err)
+	}
+}
+
+func TestNormRange(t *testing.T) {
+	c := MustNew(100)
+	cases := map[int64]int64{
+		0: 0, 99: 99, 100: 0, 101: 1, -1: 99, -100: 0, -101: 99, 250: 50,
+	}
+	for in, want := range cases {
+		if got := c.Norm(in); got != want {
+			t.Errorf("Norm(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestCWandCCWDist(t *testing.T) {
+	c := MustNew(100)
+	if got := c.CWDist(10, 30); got != 20 {
+		t.Errorf("CWDist(10,30) = %d, want 20", got)
+	}
+	if got := c.CWDist(30, 10); got != 80 {
+		t.Errorf("CWDist(30,10) = %d, want 80", got)
+	}
+	if got := c.CCWDist(10, 30); got != 80 {
+		t.Errorf("CCWDist(10,30) = %d, want 80", got)
+	}
+	if got := c.CCWDist(30, 10); got != 20 {
+		t.Errorf("CCWDist(30,10) = %d, want 20", got)
+	}
+}
+
+func TestDistComplementProperty(t *testing.T) {
+	c := MustNew(1 << 20)
+	f := func(a, b int64) bool {
+		a, b = c.Norm(a), c.Norm(b)
+		cw, ccw := c.CWDist(a, b), c.CCWDist(a, b)
+		if a == b {
+			return cw == 0 && ccw == 0
+		}
+		return cw+ccw == c.Circ() && cw > 0 && ccw > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddInverseProperty(t *testing.T) {
+	c := MustNew(1 << 16)
+	f := func(p, d int64) bool {
+		p = c.Norm(p)
+		return c.Add(c.Add(p, d), -d) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := MustNew(100)
+	if !c.Contains(90, 20, 5) {
+		t.Error("arc [90, 90+20] should contain 5 (wraps)")
+	}
+	if c.Contains(90, 20, 11) {
+		t.Error("arc [90, 90+20] should not contain 11")
+	}
+	if !c.Contains(10, 0, 10) {
+		t.Error("zero-length arc contains its endpoint")
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	out, perm, err := Canonicalize(100, []int64{50, 10, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 50, 99}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	if perm[0] != 1 || perm[1] != 0 || perm[2] != 2 {
+		t.Fatalf("perm = %v", perm)
+	}
+	if _, _, err := Canonicalize(100, []int64{10, 10}); err == nil {
+		t.Error("expected duplicate position error")
+	}
+	if _, _, err := Canonicalize(100, []int64{10, 100}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, _, err := Canonicalize(100, []int64{-1}); err == nil {
+		t.Error("expected out-of-range error for negative")
+	}
+}
+
+func TestGapsSumToCircumference(t *testing.T) {
+	c := MustNew(100)
+	pos := []int64{0, 10, 45, 80}
+	gaps := c.Gaps(pos)
+	want := []int64{10, 35, 35, 20}
+	var sum int64
+	for i := range gaps {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+		sum += gaps[i]
+	}
+	if sum != c.Circ() {
+		t.Fatalf("gaps sum = %d, want %d", sum, c.Circ())
+	}
+}
+
+func TestSortedDistinct(t *testing.T) {
+	if !SortedDistinct(100, []int64{0, 1, 99}) {
+		t.Error("sorted distinct slice rejected")
+	}
+	if SortedDistinct(100, []int64{0, 0}) {
+		t.Error("duplicate accepted")
+	}
+	if SortedDistinct(100, []int64{5, 3}) {
+		t.Error("unsorted accepted")
+	}
+	if SortedDistinct(100, []int64{0, 100}) {
+		t.Error("out of range accepted")
+	}
+}

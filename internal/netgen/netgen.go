@@ -1,0 +1,160 @@
+// Package netgen generates ring-network configurations for tests, examples
+// and the benchmark harness.  All generation is deterministic for a fixed
+// seed.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringsym/internal/engine"
+	"ringsym/internal/ring"
+)
+
+// Options controls configuration generation.
+type Options struct {
+	// N is the number of agents (must be at least 2; the paper needs > 4).
+	N int
+	// IDBound is N of the paper (the bound on identifiers); defaults to
+	// max(16, 4*N) when zero.
+	IDBound int
+	// Circ is the circumference in ticks; defaults to 1<<20 when zero.
+	Circ int64
+	// Model is the movement model; defaults to ring.Perceptive when zero.
+	Model ring.Model
+	// MixedChirality gives every agent an independent random sense of
+	// direction; otherwise all agents share the global clockwise.
+	MixedChirality bool
+	// ForceSplitChirality guarantees that, when MixedChirality is set, both
+	// orientations actually occur (n >= 2).
+	ForceSplitChirality bool
+	// EqualSpacing places agents equidistantly instead of at random
+	// positions (useful for worst-case symmetry tests).
+	EqualSpacing bool
+	// Seed drives the deterministic pseudo-random generation.
+	Seed int64
+	// MaxRounds is forwarded to the engine configuration.
+	MaxRounds int
+	// AllowSmall permits n <= 4.
+	AllowSmall bool
+	// HideParity withholds the parity of n from the agents.
+	HideParity bool
+}
+
+func (o *Options) fillDefaults() error {
+	if o.N < 2 {
+		return fmt.Errorf("netgen: need at least 2 agents, got %d", o.N)
+	}
+	if o.IDBound == 0 {
+		o.IDBound = 4 * o.N
+		if o.IDBound < 16 {
+			o.IDBound = 16
+		}
+	}
+	if o.IDBound < o.N {
+		return fmt.Errorf("netgen: IDBound %d < N %d", o.IDBound, o.N)
+	}
+	if o.Circ == 0 {
+		o.Circ = 1 << 20
+	}
+	if o.Circ < 4*int64(o.N) {
+		o.Circ = 4 * int64(o.N)
+	}
+	if o.Circ%2 != 0 {
+		o.Circ++
+	}
+	if o.Model == 0 {
+		o.Model = ring.Perceptive
+	}
+	return nil
+}
+
+// Generate builds an engine configuration according to opt.
+func Generate(opt Options) (engine.Config, error) {
+	if err := opt.fillDefaults(); err != nil {
+		return engine.Config{}, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	positions := positionsFor(rng, opt)
+	ids := distinctInts(rng, opt.N, opt.IDBound)
+	var chir []bool
+	if opt.MixedChirality {
+		chir = make([]bool, opt.N)
+		for i := range chir {
+			chir[i] = rng.Intn(2) == 0
+		}
+		if opt.ForceSplitChirality {
+			chir[0] = true
+			chir[1] = false
+		}
+	}
+	return engine.Config{
+		Model:      opt.Model,
+		Circ:       opt.Circ,
+		Positions:  positions,
+		IDs:        ids,
+		IDBound:    opt.IDBound,
+		Chirality:  chir,
+		MaxRounds:  opt.MaxRounds,
+		AllowSmall: opt.AllowSmall,
+		HideParity: opt.HideParity,
+	}, nil
+}
+
+// MustGenerate is Generate but panics on error; for tests and examples.
+func MustGenerate(opt Options) engine.Config {
+	cfg, err := Generate(opt)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// positionsFor picks n distinct even positions sorted clockwise.
+func positionsFor(rng *rand.Rand, opt Options) []int64 {
+	n := opt.N
+	positions := make([]int64, 0, n)
+	if opt.EqualSpacing {
+		step := opt.Circ / int64(n)
+		if step%2 != 0 {
+			step--
+		}
+		for i := 0; i < n; i++ {
+			positions = append(positions, int64(i)*step)
+		}
+		return positions
+	}
+	used := make(map[int64]bool, n)
+	for len(positions) < n {
+		p := 2 * rng.Int63n(opt.Circ/2)
+		if !used[p] {
+			used[p] = true
+			positions = append(positions, p)
+		}
+	}
+	sortInt64(positions)
+	return positions
+}
+
+// distinctInts draws n distinct integers from [1, bound].
+func distinctInts(rng *rand.Rand, n, bound int) []int {
+	out := make([]int, 0, n)
+	used := make(map[int]bool, n)
+	for len(out) < n {
+		v := 1 + rng.Intn(bound)
+		if !used[v] {
+			used[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

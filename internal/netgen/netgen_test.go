@@ -1,0 +1,113 @@
+package netgen
+
+import (
+	"testing"
+
+	"ringsym/internal/engine"
+	"ringsym/internal/geom"
+	"ringsym/internal/ring"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	cfg, err := Generate(Options{N: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Model != ring.Perceptive {
+		t.Errorf("default model = %v", cfg.Model)
+	}
+	if cfg.IDBound != 40 {
+		t.Errorf("default IDBound = %d, want 40", cfg.IDBound)
+	}
+	if cfg.Circ != 1<<20 {
+		t.Errorf("default circumference = %d", cfg.Circ)
+	}
+	if len(cfg.Positions) != 10 || len(cfg.IDs) != 10 {
+		t.Fatal("wrong slice lengths")
+	}
+	if !geom.SortedDistinct(cfg.Circ, cfg.Positions) {
+		t.Error("positions not sorted/distinct")
+	}
+	seen := map[int]bool{}
+	for _, id := range cfg.IDs {
+		if id < 1 || id > cfg.IDBound || seen[id] {
+			t.Fatalf("bad ID %d", id)
+		}
+		seen[id] = true
+	}
+	if cfg.Chirality != nil {
+		t.Error("chirality should be nil when MixedChirality is false")
+	}
+	// The generated configuration must be accepted by the engine.
+	if _, err := engine.New(cfg); err != nil {
+		t.Fatalf("engine rejects generated config: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Options{N: 12, Seed: 9, MixedChirality: true, ForceSplitChirality: true})
+	b := MustGenerate(Options{N: 12, Seed: 9, MixedChirality: true, ForceSplitChirality: true})
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] || a.IDs[i] != b.IDs[i] || a.Chirality[i] != b.Chirality[i] {
+			t.Fatal("same seed must generate identical configurations")
+		}
+	}
+	c := MustGenerate(Options{N: 12, Seed: 10, MixedChirality: true})
+	same := true
+	for i := range a.Positions {
+		if a.Positions[i] != c.Positions[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different configurations")
+	}
+}
+
+func TestGenerateForceSplitChirality(t *testing.T) {
+	cfg := MustGenerate(Options{N: 8, Seed: 4, MixedChirality: true, ForceSplitChirality: true})
+	hasTrue, hasFalse := false, false
+	for _, c := range cfg.Chirality {
+		if c {
+			hasTrue = true
+		} else {
+			hasFalse = true
+		}
+	}
+	if !hasTrue || !hasFalse {
+		t.Error("forced split must contain both orientations")
+	}
+}
+
+func TestGenerateEqualSpacing(t *testing.T) {
+	cfg := MustGenerate(Options{N: 8, Circ: 800, Seed: 1, EqualSpacing: true})
+	gaps := map[int64]bool{}
+	for i := 0; i < 7; i++ {
+		gaps[cfg.Positions[i+1]-cfg.Positions[i]] = true
+	}
+	if len(gaps) != 1 {
+		t.Errorf("equal spacing produced gaps %v", gaps)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Options{N: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := Generate(Options{N: 10, IDBound: 5}); err == nil {
+		t.Error("IDBound < N accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate should panic on invalid options")
+		}
+	}()
+	MustGenerate(Options{N: 0})
+}
+
+func TestGenerateSmallCircumferenceAdjusted(t *testing.T) {
+	cfg := MustGenerate(Options{N: 10, Circ: 7, Seed: 2, AllowSmall: true})
+	if cfg.Circ < 40 || cfg.Circ%2 != 0 {
+		t.Errorf("circumference %d not adjusted to a feasible even value", cfg.Circ)
+	}
+}

@@ -1,0 +1,177 @@
+package perceptive
+
+import (
+	"fmt"
+
+	"ringsym/internal/arcsolve"
+	"ringsym/internal/core"
+	"ringsym/internal/ring"
+)
+
+// convolutionException returns the even label that is exceptionally sent
+// clockwise in the t-th Convolution round (Algorithm 6 uses
+// j = (n − 2(t−1))/2, i.e. the exception label walks downwards from the
+// largest even label by two per round, wrapping around).
+func convolutionException(n, t int) int {
+	m := n / 2
+	j := (m - (t - 1)) % m
+	if j <= 0 {
+		j += m
+	}
+	return 2 * j
+}
+
+// convolutionDir is the direction of the agent with the given label in
+// Convolution(e/2): odd labels move clockwise, even labels anticlockwise,
+// except label e which moves clockwise.
+func convolutionDir(label, e int) ring.Direction {
+	if label%2 == 1 || label == e {
+		return ring.Clockwise
+	}
+	return ring.Anticlockwise
+}
+
+// convolutionRotation is the rotation index of a Convolution round on n
+// agents (2 for even n, 3 for odd n).
+func convolutionRotation(n int) int {
+	numCW := (n+1)/2 + 1
+	return ((2*numCW-n)%n + n) % n
+}
+
+// pivotDir is the direction of the agent with the given label in Pivot(p):
+// the n/2 agents clockwise of the pivot point (labels p+1..p+n/2) move
+// anticlockwise and the other half moves clockwise, so the rotation index is
+// zero while the collisions around the pivot yield fresh equations.
+func pivotDir(label, p, n int) ring.Direction {
+	d := ((label-(p+1))%n + n) % n
+	if d < n/2 {
+		return ring.Anticlockwise
+	}
+	return ring.Clockwise
+}
+
+// spanToOpposite returns the number of ring positions from the agent with
+// myLabel to the nearest agent, in the direction of myDir, that moves in the
+// opposite direction under the assignment dirOf.  ok is false when every
+// agent moves the same way.
+func spanToOpposite(dirOf func(label int) ring.Direction, myLabel, n int, myDir ring.Direction) (span int, ok bool) {
+	want := myDir.Opposite()
+	step := 1
+	if myDir == ring.Anticlockwise {
+		step = -1
+	}
+	for s := 1; s < n; s++ {
+		l := myLabel + step*s
+		l = ((l-1)%n+n)%n + 1
+		if dirOf(l) == want {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Distances implements Algorithm 6 together with the equation bookkeeping
+// that the paper describes informally: every round contributes the dist()
+// equation (an arc of `rotation index` consecutive gaps) and, when the agent
+// collides, the coll() equation (the arc to the nearest oppositely-moving
+// agent, which the agent can identify because the schedule is a function of
+// the publicly known labels).  The equations are difference constraints over
+// the prefix sums of the unknown gaps and are solved incrementally
+// (internal/arcsolve).
+//
+// The schedule is the paper's: ⌈n/2⌉ Convolution rounds followed, for even n,
+// by Pivot(n), Pivot(n−1), Pivot(n−2).  A completeness loop (one paired probe
+// round plus, if needed, one extra Convolution round per iteration) guards
+// the reconstruction so that every agent provably terminates with the full
+// gap vector; with the paper's schedule the loop exits immediately.
+//
+// Preconditions: perceptive model, common sense of direction, labels and n
+// known (RingDist + BroadcastSize), configuration equal to the reference
+// configuration the labels refer to.
+//
+// Returns the leader-relative gap vector (g_j is the arc from the agent with
+// label j+1 to the agent with label j+2) and the agent's final ring offset
+// from the reference configuration.
+func Distances(f *core.Frame, label, n int) (gaps []int64, finalOffset int, err error) {
+	if label < 1 || label > n || n < 5 {
+		return nil, 0, fmt.Errorf("%w: label %d of %d", ErrProtocol, label, n)
+	}
+	solver, err := arcsolve.New(n, f.FullCircle())
+	if err != nil {
+		return nil, 0, err
+	}
+	rel := label - 1
+	offset := 0
+
+	execute := func(dirOf func(label int) ring.Direction, rotation int) error {
+		myDir := dirOf(label)
+		obs, err := f.Round(myDir)
+		if err != nil {
+			return err
+		}
+		cur := ((rel+offset)%n + n) % n
+		if rotation%n != 0 {
+			if err := solver.AddArc(cur, rotation%n, obs.Dist); err != nil {
+				return err
+			}
+		}
+		if obs.Collided {
+			if span, ok := spanToOpposite(dirOf, label, n, myDir); ok {
+				from := cur
+				if myDir == ring.Anticlockwise {
+					from = ((cur-span)%n + n) % n
+				}
+				if err := solver.AddArc(from, span, 2*obs.Coll); err != nil {
+					return err
+				}
+			}
+		}
+		offset = (offset + rotation) % n
+		return nil
+	}
+
+	convolution := func(t int) error {
+		e := convolutionException(n, t)
+		return execute(func(l int) ring.Direction { return convolutionDir(l, e) }, convolutionRotation(n))
+	}
+
+	for t := 1; t <= (n+1)/2; t++ {
+		if err := convolution(t); err != nil {
+			return nil, 0, err
+		}
+	}
+	if n%2 == 0 {
+		for _, p := range []int{n, n - 1, n - 2} {
+			if err := execute(func(l int) ring.Direction { return pivotDir(l, p, n) }, 0); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+
+	// Completeness loop: exit only when every agent has solved its system.
+	for iter := 0; ; iter++ {
+		probeDir := ring.Clockwise
+		if solver.Solved() {
+			probeDir = ring.Anticlockwise
+		}
+		probe, err := f.RoundPair(probeDir)
+		if err != nil {
+			return nil, 0, err
+		}
+		if solver.Solved() && !probe.Collided && probe.Dist == 0 {
+			break
+		}
+		if iter > 4*n {
+			return nil, 0, fmt.Errorf("%w: Distances did not converge", ErrExhausted)
+		}
+		if err := convolution((n+1)/2 + iter + 1); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	gaps, err = solver.Gaps()
+	if err != nil {
+		return nil, 0, err
+	}
+	return gaps, offset, nil
+}

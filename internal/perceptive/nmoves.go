@@ -1,0 +1,132 @@
+// Package perceptive implements the Section V algorithms of the paper, which
+// exploit the coll() observable of the perceptive model: the sub-linear
+// nontrivial move algorithm NMoveS (Algorithm 4), ring-distance discovery
+// RingDist (Algorithm 5) and the position-discovery schedule Distances
+// (Algorithm 6), culminating in Theorem 42's n/2 + o(n) location discovery.
+package perceptive
+
+import (
+	"errors"
+	"fmt"
+
+	"ringsym/internal/comb"
+	"ringsym/internal/core"
+	"ringsym/internal/engine"
+	"ringsym/internal/rcomm"
+	"ringsym/internal/ring"
+)
+
+// Errors returned by the package.
+var (
+	ErrNeedPerceptive = errors.New("perceptive: algorithm requires the perceptive model")
+	ErrExhausted      = errors.New("perceptive: schedule exhausted without success")
+	ErrProtocol       = errors.New("perceptive: protocol invariant violated")
+)
+
+// NMoveS implements Algorithm 4: the nontrivial move problem in
+// O(√n·log N) rounds without a common sense of direction.
+//
+// If the all-clockwise round is already nontrivial we are done.  Otherwise
+// its rotation index r0 lies in {0, n/2}, and any assignment that differs
+// from it in exactly one agent has rotation index r0 ± 2 ∉ {0, n/2} for
+// n > 4 (the argument of Lemma 10).  The algorithm therefore thins the agents
+// into local leaders over exponentially growing distances 2^k — pairwise more
+// than 2^k apart, hence fewer than n/2^k of them — and executes an
+// (N, 2^k)-selective family on the leaders; as soon as a set isolates exactly
+// one leader, flipping exactly that leader yields a nontrivial move, which
+// every agent recognises with Lemma 2.
+//
+// The returned direction is this agent's direction, in its frame, in a round
+// known by every agent to be a nontrivial move.
+func NMoveS(f *core.Frame, seed int64) (ring.Direction, error) {
+	if !f.Agent().Model().RevealsCollision() {
+		return ring.Idle, ErrNeedPerceptive
+	}
+	cls, err := f.ClassifyRotation(ring.Clockwise, true)
+	if err != nil {
+		return ring.Idle, err
+	}
+	if cls.Nontrivial() {
+		return ring.Clockwise, nil
+	}
+
+	link, err := rcomm.Establish(f)
+	if err != nil {
+		return ring.Idle, err
+	}
+	idBits := comb.Bits(f.IDBound())
+	isLeader := true // L_0 contains every agent
+
+	for k := 0; ; k++ {
+		d := 1 << k
+		if d > 2*f.IDBound() {
+			return ring.Idle, fmt.Errorf("%w: local-leader hierarchy exceeded the identifier bound", ErrExhausted)
+		}
+		// Thin the leaders: a level-(k-1) leader survives to level k iff its
+		// identifier is maximal among level-(k-1) leaders within ring
+		// distance 2^k.
+		max, found, err := link.AggregateMax(isLeader, uint64(f.ID()), idBits, d)
+		if err != nil {
+			return ring.Idle, err
+		}
+		if isLeader && found && int(max) > f.ID() {
+			isLeader = false
+		}
+		// Execute the (N, 2^k)-selective family on the surviving leaders:
+		// leaders contained in the current set flip to anticlockwise, every
+		// other agent stays clockwise.
+		fam, err := comb.NewRandomSelective(f.IDBound(), d, seed^int64(k)*0x9e3779b9, 0)
+		if err != nil {
+			return ring.Idle, err
+		}
+		for i := 0; i < fam.Len(); i++ {
+			dir := ring.Clockwise
+			if isLeader && fam.Contains(i, f.ID()) {
+				dir = ring.Anticlockwise
+			}
+			cls, err := f.ClassifyRotation(dir, true)
+			if err != nil {
+				return ring.Idle, err
+			}
+			if cls.Nontrivial() {
+				return dir, nil
+			}
+		}
+	}
+}
+
+// Options configures the perceptive coordination and discovery pipelines.
+type Options struct {
+	// Seed drives the pseudo-random selective families.
+	Seed int64
+}
+
+// Coordinate solves nontrivial move, direction agreement and leader election
+// in the perceptive model in O(√n·log N) rounds (Table I, last row), by
+// composing NMoveS with Algorithm 1 and Algorithm 2.
+func Coordinate(a *engine.Agent, opts Options) (*core.Coordination, error) {
+	f := core.NewFrame(a)
+	start := f.RoundsUsed()
+	nmDir, err := NMoveS(f, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	afterNM := f.RoundsUsed()
+	nmDir, err = core.DirectionAgreement(f, nmDir)
+	if err != nil {
+		return nil, err
+	}
+	afterDA := f.RoundsUsed()
+	isLeader, err := core.LeaderElectWithNM(f, nmDir)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Coordination{
+		Frame:            f,
+		IsLeader:         isLeader,
+		NontrivialDir:    nmDir,
+		RoundsNontrivial: afterNM - start,
+		RoundsAgreement:  afterDA - afterNM,
+		RoundsLeader:     f.RoundsUsed() - afterDA,
+	}, nil
+}

@@ -1,0 +1,116 @@
+package perceptive
+
+import (
+	"fmt"
+
+	"ringsym/internal/core"
+	"ringsym/internal/engine"
+	"ringsym/internal/rcomm"
+)
+
+// DiscoveryResult is the outcome of the full perceptive location-discovery
+// pipeline for one agent.
+type DiscoveryResult struct {
+	// IsLeader reports whether this agent was elected leader.
+	IsLeader bool
+	// Label is the agent's clockwise ring distance from the leader plus one
+	// (the leader has label 1).
+	Label int
+	// N is the discovered number of agents.
+	N int
+	// Gaps is the leader-relative gap vector: Gaps[j] is the arc (half-ticks)
+	// from the agent with label j+1 to the agent with label j+2.
+	Gaps []int64
+	// Positions[t] is the arc, measured in the agreed clockwise direction,
+	// from this agent's initial position to the initial position of the agent
+	// at ring distance t clockwise from it (Positions[0] = 0).
+	Positions []int64
+	// Round accounting per stage.
+	RoundsCoordination int
+	RoundsRingDist     int
+	RoundsDistances    int
+}
+
+// LocationDiscovery implements Theorem 42: location discovery in the
+// perceptive model in n/2 + O(√n·log²N) rounds for even n (the paper's
+// setting; odd n is handled by the lazy-model style sweep in
+// internal/discovery).  The pipeline is: NMoveS → direction agreement →
+// leader election → neighbour re-discovery in the agreed frame → RingDist →
+// size broadcast → Distances → per-agent solution of the arc equations.
+func LocationDiscovery(a *engine.Agent, opts Options) (*DiscoveryResult, error) {
+	coord, err := Coordinate(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	f := coord.Frame
+	afterCoord := f.RoundsUsed()
+
+	// The link must be rebuilt because direction agreement may have flipped
+	// the frame after NMoveS's neighbour discovery.
+	link, err := rcomm.Establish(f)
+	if err != nil {
+		return nil, err
+	}
+	label, isLast, err := RingDist(link, coord.IsLeader)
+	if err != nil {
+		return nil, err
+	}
+	n, err := BroadcastSize(f, isLast, label)
+	if err != nil {
+		return nil, err
+	}
+	if n < 5 || label < 1 || label > n {
+		return nil, fmt.Errorf("%w: ring distance stage produced label %d, n %d", ErrProtocol, label, n)
+	}
+	afterRingDist := f.RoundsUsed()
+
+	gaps, offset, err := Distances(f, label, n)
+	if err != nil {
+		return nil, err
+	}
+	positions, err := relativePositions(f, label, n, gaps, offset)
+	if err != nil {
+		return nil, err
+	}
+	return &DiscoveryResult{
+		IsLeader:           coord.IsLeader,
+		Label:              label,
+		N:                  n,
+		Gaps:               gaps,
+		Positions:          positions,
+		RoundsCoordination: afterCoord,
+		RoundsRingDist:     afterRingDist - afterCoord,
+		RoundsDistances:    f.RoundsUsed() - afterRingDist,
+	}, nil
+}
+
+// relativePositions converts the leader-relative gap vector into positions
+// relative to this agent's own initial position.  The agent knows the arc
+// from its initial to its current position (the running sum of its dist()
+// observations), its current leader-relative slot (label − 1 + offset), and
+// the full slot geometry, so it can identify the slot it started from and
+// read off everybody's initial position.
+func relativePositions(f *core.Frame, label, n int, gaps []int64, offset int) ([]int64, error) {
+	full := f.FullCircle()
+	prefix := make([]int64, n)
+	for j := 1; j < n; j++ {
+		prefix[j] = prefix[j-1] + gaps[j-1]
+	}
+	cur := ((label-1+offset)%n + n) % n
+	initialCoord := ((prefix[cur]-f.Displacement())%full + full) % full
+	initIdx := -1
+	for j := 0; j < n; j++ {
+		if prefix[j] == initialCoord {
+			initIdx = j
+			break
+		}
+	}
+	if initIdx < 0 {
+		return nil, fmt.Errorf("%w: initial position does not coincide with a discovered slot", ErrProtocol)
+	}
+	positions := make([]int64, n)
+	for t := 0; t < n; t++ {
+		positions[t] = ((prefix[(initIdx+t)%n]-prefix[initIdx])%full + full) % full
+	}
+	return positions, nil
+}

@@ -1,0 +1,195 @@
+package perceptive
+
+import (
+	"fmt"
+
+	"ringsym/internal/comb"
+	"ringsym/internal/core"
+	"ringsym/internal/engine"
+	"ringsym/internal/rcomm"
+	"ringsym/internal/ring"
+)
+
+// RingDist implements Algorithm 5: every agent learns its label, i.e. its
+// clockwise ring distance from the elected leader plus one (the leader has
+// label 1, its clockwise neighbour label 2, ..., its anticlockwise neighbour
+// label n).
+//
+// Preconditions: the perceptive model, an elected unique leader, a common
+// sense of direction (the frame underlying the link is the agreed one) and a
+// configuration-preserving link (as produced by rcomm.Establish after
+// direction agreement).  The algorithm preserves the configuration.
+//
+// In iteration i (k = 2^i) the agents with labels k(j+1) for j = 1..k learn
+// their labels from the arithmetic identity of Proposition 37/Corollary 38:
+// the distance 2z to their first collision in Shift(k) equals the sum of the
+// displacements y_1..y_j observed in j executions of Shift(−k/2) exactly when
+// their label is k + jk.  Newly labelled agents then announce their label
+// within ring distance k, which labels everybody up to a_{k²+2k}.  The loop
+// ends when the leader's anticlockwise neighbour (which knows it is the last
+// agent from the initial announcement) reports, through a rotation-signalling
+// round, that it has learned its label.
+//
+// The returned values are the agent's label and whether it is the last agent
+// (label n).  Cost: O(√n·log N) rounds.
+func RingDist(link *rcomm.Link, isLeader bool) (label int, isLast bool, err error) {
+	f := link.Frame()
+	if !f.Agent().Model().RevealsCollision() {
+		return 0, false, ErrNeedPerceptive
+	}
+	if isLeader {
+		label = 1
+	}
+
+	// The leader announces itself over ring distance 4 so that agents a_2..a_5
+	// know their labels before the first iteration, and a_n learns that it is
+	// the leader's anticlockwise neighbour.
+	left, right, err := link.DisseminateSparse(isLeader, 1, 1, 4)
+	if err != nil {
+		return 0, false, err
+	}
+	if right.Found && right.Hops == 1 && !isLeader {
+		isLast = true
+	}
+	if label == 0 && left.Found {
+		label = 1 + left.Hops
+	}
+
+	// shift executes one round of Shift(l) (for l > 0) or Shift(-|l|) (for
+	// l < 0): agents with a known label at most |l| move clockwise (resp.
+	// anticlockwise), everybody else the other way.
+	shift := func(l int) (engine.Observation, error) {
+		limit := l
+		inside := ring.Clockwise
+		if l < 0 {
+			limit = -l
+			inside = ring.Anticlockwise
+		}
+		dir := inside.Opposite()
+		if label != 0 && label <= limit {
+			dir = inside
+		}
+		return f.Round(dir)
+	}
+
+	for k := 2; ; k *= 2 {
+		if k > 4*f.IDBound() {
+			return 0, false, fmt.Errorf("%w: RingDist exceeded the identifier bound", ErrExhausted)
+		}
+		// Phase A: k executions of Shift(-k/2); record the anticlockwise
+		// displacement of each.
+		ys := make([]int64, 0, k)
+		for j := 0; j < k; j++ {
+			obs, err := shift(-(k / 2))
+			if err != nil {
+				return 0, false, err
+			}
+			y := int64(0)
+			if obs.Dist != 0 {
+				y = f.FullCircle() - obs.Dist
+			}
+			ys = append(ys, y)
+		}
+		// Undo phase A.
+		for j := 0; j < k; j++ {
+			if _, err := shift(k / 2); err != nil {
+				return 0, false, err
+			}
+		}
+		// Phase B: Shift(k) yields the first-collision distance z; Shift(-k)
+		// undoes it.
+		obsZ, err := shift(k)
+		if err != nil {
+			return 0, false, err
+		}
+		if _, err := shift(-k); err != nil {
+			return 0, false, err
+		}
+		// Corollary 38: an unlabelled agent has label k + jk exactly when
+		// twice its first-collision distance equals y_1 + ... + y_j.  Agents
+		// that already know such a label (from an earlier iteration) mark
+		// themselves again, exactly as in the paper, so that the contiguous
+		// coverage of announced labels keeps extending by k² per iteration.
+		marked := false
+		switch {
+		case label > k && label%k == 0 && label <= k*k+k:
+			marked = true
+		case label == 0 && obsZ.Collided:
+			var sum int64
+			for j := 0; j < k; j++ {
+				sum += ys[j]
+				if 2*obsZ.Coll == sum {
+					label = k + (j+1)*k
+					marked = true
+					break
+				}
+			}
+		}
+		// Phase C: newly labelled agents announce their label over distance k.
+		labelBits := comb.Bits(k*k + k)
+		payload := uint64(0)
+		if marked {
+			payload = uint64(label)
+		}
+		dl, dr, err := link.DisseminateSparse(marked, payload, labelBits, k)
+		if err != nil {
+			return 0, false, err
+		}
+		if label == 0 {
+			switch {
+			case dl.Found:
+				// The source sits on our anticlockwise side: we are dl.Hops
+				// positions clockwise of it.
+				label = int(dl.Payload) + dl.Hops
+			case dr.Found:
+				label = int(dr.Payload) - dr.Hops
+			}
+		}
+		// Completeness check: a_n moves clockwise iff it knows its label,
+		// everybody else anticlockwise; the rotation index is nonzero exactly
+		// when a_n is labelled, which (by the contiguous coverage of labels)
+		// means everybody is.  The probe is paired with a reversed round so
+		// the configuration is preserved.
+		probeDir := ring.Anticlockwise
+		if isLast && label != 0 {
+			probeDir = ring.Clockwise
+		}
+		obs, err := f.RoundPair(probeDir)
+		if err != nil {
+			return 0, false, err
+		}
+		if obs.Dist != 0 {
+			return label, isLast, nil
+		}
+	}
+}
+
+// BroadcastSize makes the last agent (label n, the leader's anticlockwise
+// neighbour) announce the network size n to every agent over the
+// rotation-signalling channel, one bit per paired round, so the configuration
+// is preserved.  Every agent returns n.  Cost: 2·⌈log2 N⌉ rounds.
+func BroadcastSize(f *core.Frame, isLast bool, ownLabel int) (int, error) {
+	bits := comb.Bits(f.IDBound())
+	value := uint64(0)
+	if isLast {
+		value = uint64(ownLabel)
+	}
+	var received uint64
+	for i := 0; i < bits; i++ {
+		dir := ring.Anticlockwise
+		if isLast && (value>>i)&1 == 1 {
+			dir = ring.Clockwise
+		}
+		obs, err := f.RoundPair(dir)
+		if err != nil {
+			return 0, err
+		}
+		if obs.Dist != 0 {
+			received |= 1 << i
+		}
+	}
+	if isLast {
+		return ownLabel, nil
+	}
+	return int(received), nil
+}

@@ -1,0 +1,121 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringsym/internal/ring"
+)
+
+// TestMultiRoundRotationComposition runs the continuous simulator for two
+// consecutive rounds (duration = 2·circ) with everybody keeping its initial
+// direction and checks the composition law implied by Lemma 1: the final
+// occupancy is the initial one rotated by twice the single-round rotation
+// index.
+func TestMultiRoundRotationComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(8)
+		circ := 1000.0
+		positions := make([]float64, 0, n)
+		used := map[int]bool{}
+		for len(positions) < n {
+			p := r.Intn(1000)
+			if !used[p] {
+				used[p] = true
+				positions = append(positions, float64(p))
+			}
+		}
+		sortFloats(positions)
+		dirs := make([]ring.Direction, n)
+		nc, na := 0, 0
+		for i := range dirs {
+			if r.Intn(2) == 0 {
+				dirs[i] = ring.Clockwise
+				nc++
+			} else {
+				dirs[i] = ring.Anticlockwise
+				na++
+			}
+		}
+		res, err := Simulate(circ, positions, dirs, 2*circ)
+		if err != nil {
+			return false
+		}
+		rot := (((nc-na)*2)%n + n) % n
+		for i := 0; i < n; i++ {
+			want := positions[(i+rot)%n]
+			got := res.Final[i]
+			d := math.Abs(got - want)
+			if d > 1e-3 && math.Abs(d-circ) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroDurationIsIdentity checks the degenerate duration.
+func TestZeroDurationIsIdentity(t *testing.T) {
+	res, err := Simulate(100, []float64{1, 50}, []ring.Direction{ring.Clockwise, ring.Anticlockwise}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final[0] != 1 || res.Final[1] != 50 || len(res.Events) != 0 {
+		t.Fatalf("zero-duration simulation changed state: %+v", res)
+	}
+}
+
+// TestEveryAgentCollidesWhenBothDirectionsPresent verifies the claim used by
+// the emptiness test of Lemma 12: within one round, if at least one agent
+// moves each way, every agent collides at least once.
+func TestEveryAgentCollidesWhenBothDirectionsPresent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(10)
+		circ := 2048.0
+		used := map[int]bool{}
+		positions := make([]float64, 0, n)
+		for len(positions) < n {
+			p := r.Intn(2048)
+			if !used[p] {
+				used[p] = true
+				positions = append(positions, float64(p))
+			}
+		}
+		sortFloats(positions)
+		dirs := make([]ring.Direction, n)
+		for i := range dirs {
+			dirs[i] = ring.Clockwise
+		}
+		dirs[r.Intn(n)] = ring.Anticlockwise // at least one each way
+		res, err := SimulateRound(circ, positions, dirs)
+		if err != nil {
+			return false
+		}
+		for i := range dirs {
+			if !res.Collided(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

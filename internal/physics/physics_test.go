@@ -1,0 +1,191 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringsym/internal/ring"
+)
+
+func TestSimulateInputValidation(t *testing.T) {
+	_, err := Simulate(0, []float64{1, 2}, []ring.Direction{ring.Clockwise, ring.Clockwise}, 10)
+	if err == nil {
+		t.Error("zero circumference accepted")
+	}
+	_, err = Simulate(10, []float64{1}, []ring.Direction{ring.Clockwise}, 10)
+	if err == nil {
+		t.Error("single agent accepted")
+	}
+	_, err = Simulate(10, []float64{3, 1}, []ring.Direction{ring.Clockwise, ring.Clockwise}, 10)
+	if err == nil {
+		t.Error("unsorted positions accepted")
+	}
+	_, err = Simulate(10, []float64{1, 3}, []ring.Direction{ring.Clockwise}, 10)
+	if err == nil {
+		t.Error("length mismatch accepted")
+	}
+	_, err = Simulate(10, []float64{1, 3}, []ring.Direction{ring.Clockwise, ring.Direction(77)}, 10)
+	if err == nil {
+		t.Error("bad direction accepted")
+	}
+	_, err = Simulate(10, []float64{1, 30}, []ring.Direction{ring.Clockwise, ring.Clockwise}, 10)
+	if err == nil {
+		t.Error("out-of-range position accepted")
+	}
+}
+
+func TestHeadOnCollision(t *testing.T) {
+	// Two agents approaching: they bounce and return to their start points
+	// after a full round.
+	res, err := SimulateRound(100, []float64{0, 10}, []ring.Direction{ring.Clockwise, ring.Anticlockwise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Collided(0) || !res.Collided(1) {
+		t.Fatal("expected both agents to collide")
+	}
+	if math.Abs(res.FirstColl[0]-5) > 1e-6 || math.Abs(res.FirstColl[1]-5) > 1e-6 {
+		t.Fatalf("first collision distances = %v, want 5", res.FirstColl)
+	}
+	// Rotation index 0: everyone back at the start.
+	if math.Abs(res.Final[0]-0) > 1e-6 || math.Abs(res.Final[1]-10) > 1e-6 {
+		t.Fatalf("final positions = %v", res.Final)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestMomentumTransferOntoIdleAgent(t *testing.T) {
+	// Design-note example: mover at 0, idle at 10, circumference 20.
+	res, err := SimulateRound(20, []float64{0, 10}, []ring.Direction{ring.Clockwise, ring.Idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mover stops at 10, the idle agent carries on and ends at 0.
+	if math.Abs(res.Final[0]-10) > 1e-6 || math.Abs(res.Final[1]-0) > 1e-6 {
+		t.Fatalf("final positions = %v, want [10 0]", res.Final)
+	}
+	if math.Abs(res.FirstColl[0]-10) > 1e-6 {
+		t.Fatalf("mover first collision = %v, want 10", res.FirstColl[0])
+	}
+}
+
+func TestUnanimousDirectionNoCollision(t *testing.T) {
+	res, err := SimulateRound(100, []float64{0, 10, 40, 70}, []ring.Direction{
+		ring.Clockwise, ring.Clockwise, ring.Clockwise, ring.Clockwise,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Collisions {
+		if res.Collided(i) {
+			t.Fatalf("agent %d collided in a unanimous round", i)
+		}
+	}
+	for i, p := range []float64{0, 10, 40, 70} {
+		if math.Abs(res.Final[i]-p) > 1e-6 {
+			t.Fatalf("agent %d final = %v, want %v", i, res.Final[i], p)
+		}
+	}
+}
+
+// randomConfig builds a random exact configuration shared by both engines.
+func randomConfig(rng *rand.Rand, n int, circ int64, allowIdle bool) ([]int64, []ring.Direction) {
+	used := map[int64]bool{}
+	positions := make([]int64, 0, n)
+	for len(positions) < n {
+		// Even tick positions keep everything integral after halving.
+		p := 2 * (rng.Int63n(circ / 2))
+		if !used[p] {
+			used[p] = true
+			positions = append(positions, p)
+		}
+	}
+	// Sort clockwise.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if positions[j] < positions[i] {
+				positions[i], positions[j] = positions[j], positions[i]
+			}
+		}
+	}
+	dirs := make([]ring.Direction, n)
+	for i := range dirs {
+		switch rng.Intn(3) {
+		case 0:
+			dirs[i] = ring.Clockwise
+		case 1:
+			dirs[i] = ring.Anticlockwise
+		default:
+			if allowIdle {
+				dirs[i] = ring.Idle
+			} else {
+				dirs[i] = ring.Clockwise
+			}
+		}
+	}
+	return dirs2positions(positions), dirs
+}
+
+func dirs2positions(p []int64) []int64 { return p }
+
+// TestCrossValidateAnalyticEngine compares the closed-form engine
+// (internal/ring: Lemma 1 + Proposition 4) against the event-driven
+// simulation on random configurations.
+func TestCrossValidateAnalyticEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const circ = 1 << 12
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(12)
+		model := ring.Perceptive
+		allowIdle := trial%3 == 0
+		if allowIdle {
+			model = ring.Lazy
+		}
+		positions, dirs := randomConfig(rng, n, circ, allowIdle)
+
+		st, err := ring.New(ring.Config{Model: model, Circ: circ, Positions: positions})
+		if err != nil {
+			t.Fatalf("trial %d: ring.New: %v", trial, err)
+		}
+		out, err := st.ExecuteRound(dirs)
+		if err != nil {
+			t.Fatalf("trial %d: ExecuteRound: %v", trial, err)
+		}
+
+		fpos := make([]float64, n)
+		for i, p := range positions {
+			fpos[i] = float64(p)
+		}
+		sim, err := SimulateRound(float64(circ), fpos, dirs)
+		if err != nil {
+			t.Fatalf("trial %d: Simulate: %v", trial, err)
+		}
+
+		for i := 0; i < n; i++ {
+			want := float64(st.PositionOf(i))
+			got := sim.Final[i]
+			d := math.Abs(got - want)
+			if d > 1e-3 && math.Abs(d-float64(circ)) > 1e-3 {
+				t.Fatalf("trial %d agent %d: final position %v (analytic %v), dirs=%v positions=%v",
+					trial, i, got, want, dirs, positions)
+			}
+			if model == ring.Perceptive {
+				if out.Agents[i].Collided != sim.Collided(i) {
+					t.Fatalf("trial %d agent %d: collided mismatch analytic=%v simulated=%v",
+						trial, i, out.Agents[i].Collided, sim.Collided(i))
+				}
+				if out.Agents[i].Collided {
+					// Analytic coll is in half-ticks.
+					want := float64(out.Agents[i].Coll) / 2
+					if math.Abs(sim.FirstColl[i]-want) > 1e-3 {
+						t.Fatalf("trial %d agent %d: first collision %v, analytic %v",
+							trial, i, sim.FirstColl[i], want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package rcomm
+
+import (
+	"fmt"
+)
+
+// SideInfo describes what an agent learned about the nearest source on one
+// side of the ring during a dissemination.
+type SideInfo struct {
+	// Found reports whether any source within the dissemination distance
+	// exists on this side.
+	Found bool
+	// Payload is the nearest source's payload.
+	Payload uint64
+	// Hops is the ring distance to that source (1..distance).
+	Hops int
+}
+
+// Disseminate implements the information dissemination task of
+// Corollary 33/34: every source agent floods its payload up to the given ring
+// distance in both directions, hop by hop.  Each agent learns, for each of
+// its two sides, the payload and ring distance of the nearest source on that
+// side (its own payload is not included).  Sides are relative to the agent's
+// frame: "left" is the frame-anticlockwise side.
+//
+// Cost: distance relay steps of 8·(1+payloadBits+hopBits) rounds each, i.e.
+// O(distance · payloadBits) rounds.  The configuration is restored
+// afterwards.
+func (l *Link) Disseminate(isSource bool, payload uint64, payloadBits, distance int) (left, right SideInfo, err error) {
+	if distance < 1 {
+		return SideInfo{}, SideInfo{}, fmt.Errorf("rcomm: dissemination distance must be positive, got %d", distance)
+	}
+	if payloadBits < 1 {
+		return SideInfo{}, SideInfo{}, fmt.Errorf("rcomm: payloadBits must be positive, got %d", payloadBits)
+	}
+	hopBits := bitsFor(distance)
+	msgBits := 1 + payloadBits + hopBits
+	if 2*msgBits > 62 {
+		return SideInfo{}, SideInfo{}, fmt.Errorf("%w: message of %d bits", ErrBadBits, msgBits)
+	}
+	enc := func(present bool, payload uint64, hops int) uint64 {
+		if !present {
+			return 0
+		}
+		return 1 | payload<<1 | uint64(hops)<<(1+payloadBits)
+	}
+	dec := func(w uint64) (bool, uint64, int) {
+		if w&1 == 0 {
+			return false, 0, 0
+		}
+		payload := (w >> 1) & (uint64(1)<<payloadBits - 1)
+		hops := int((w >> (1 + payloadBits)) & (uint64(1)<<hopBits - 1))
+		return true, payload, hops
+	}
+
+	// outRight travels towards our right neighbour (and onwards in that
+	// objective direction); outLeft symmetric.
+	outRight := enc(isSource, payload, 1)
+	outLeft := outRight
+	for step := 0; step < distance; step++ {
+		fromLeft, fromRight, err := l.Exchange(outLeft, outRight, msgBits)
+		if err != nil {
+			return SideInfo{}, SideInfo{}, err
+		}
+		// A message arriving from the left neighbour originated on our left
+		// side; the first one to arrive is from the nearest source.
+		if present, pl, hops := dec(fromLeft); present && !left.Found {
+			left = SideInfo{Found: true, Payload: pl, Hops: hops}
+		}
+		if present, pl, hops := dec(fromRight); present && !right.Found {
+			right = SideInfo{Found: true, Payload: pl, Hops: hops}
+		}
+		// Relay: what came from the left continues to the right with one more
+		// hop on its counter, and vice versa.  Messages that already reached
+		// the target distance die out because the loop ends.
+		outRight = relay(fromLeft, dec, enc)
+		outLeft = relay(fromRight, dec, enc)
+	}
+	return left, right, nil
+}
+
+// relay re-encodes a received message with an incremented hop counter.
+func relay(w uint64, dec func(uint64) (bool, uint64, int), enc func(bool, uint64, int) uint64) uint64 {
+	present, payload, hops := dec(w)
+	if !present {
+		return 0
+	}
+	return enc(true, payload, hops+1)
+}
+
+// AggregateMax floods source values up to the given ring distance and returns
+// the maximum value among all sources within that distance of this agent
+// (including the agent itself when it is a source).  found reports whether
+// any such source exists.
+//
+// Cost: distance relay steps of 8·(1+valueBits) rounds each.
+func (l *Link) AggregateMax(isSource bool, value uint64, valueBits, distance int) (max uint64, found bool, err error) {
+	if distance < 1 {
+		return 0, false, fmt.Errorf("rcomm: aggregation distance must be positive, got %d", distance)
+	}
+	if valueBits < 1 {
+		return 0, false, fmt.Errorf("rcomm: valueBits must be positive, got %d", valueBits)
+	}
+	msgBits := 1 + valueBits
+	if 2*msgBits > 62 {
+		return 0, false, fmt.Errorf("%w: message of %d bits", ErrBadBits, msgBits)
+	}
+	enc := func(present bool, v uint64) uint64 {
+		if !present {
+			return 0
+		}
+		return 1 | v<<1
+	}
+	dec := func(w uint64) (bool, uint64) {
+		if w&1 == 0 {
+			return false, 0
+		}
+		return true, w >> 1
+	}
+	if isSource {
+		max, found = value, true
+	}
+	// bestFromLeft carries the running maximum over sources within `step`
+	// hops on our left side; it is what we forward to the right.
+	bestFromLeft := enc(isSource, value)
+	bestFromRight := bestFromLeft
+	for step := 0; step < distance; step++ {
+		fromLeft, fromRight, err := l.Exchange(bestFromRight, bestFromLeft, msgBits)
+		if err != nil {
+			return 0, false, err
+		}
+		if present, v := dec(fromLeft); present {
+			if !found || v > max {
+				max, found = v, true
+			}
+			if p, cur := dec(bestFromLeft); !p || v > cur {
+				bestFromLeft = enc(true, v)
+			}
+		}
+		if present, v := dec(fromRight); present {
+			if !found || v > max {
+				max, found = v, true
+			}
+			if p, cur := dec(bestFromRight); !p || v > cur {
+				bestFromRight = enc(true, v)
+			}
+		}
+	}
+	return max, found, nil
+}
+
+// bitsFor returns the number of bits needed to represent values in [0..v].
+func bitsFor(v int) int {
+	b := 0
+	for x := v; x > 0; x >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

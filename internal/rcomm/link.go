@@ -1,0 +1,151 @@
+package rcomm
+
+import (
+	"fmt"
+
+	"ringsym/internal/core"
+	"ringsym/internal/engine"
+	"ringsym/internal/ring"
+)
+
+// Link is the per-agent handle of the neighbour communication layer.  It is
+// created from the outcome of neighbour discovery and must be used while the
+// ring is in the same configuration (every primitive of this package restores
+// the configuration, so arbitrary Link operations can be chained).  The frame
+// must not be flipped while a Link built from it is still in use.
+type Link struct {
+	frame *core.Frame
+	nb    Neighbors
+}
+
+// NewLink builds a Link for the given frame from its neighbour information.
+func NewLink(f *core.Frame, nb Neighbors) *Link {
+	return &Link{frame: f, nb: nb}
+}
+
+// Establish runs neighbour discovery and returns a ready-to-use Link
+// (Corollary 32's O(log N) preprocessing).
+func Establish(f *core.Frame) (*Link, error) {
+	nb, err := NeighborDiscovery(f)
+	if err != nil {
+		return nil, err
+	}
+	return NewLink(f, nb), nil
+}
+
+// Frame returns the frame the link operates on.
+func (l *Link) Frame() *core.Frame { return l.frame }
+
+// Neighbors returns the neighbour information the link was built from.
+func (l *Link) Neighbors() Neighbors { return l.nb }
+
+// ExchangeBit implements Proposition 31: the agent transmits one bit to both
+// neighbours and learns the bit transmitted by each of them.  Cost: 4 rounds
+// (two information rounds, each followed by a reversed round).
+func (l *Link) ExchangeBit(bit int) (left, right int, err error) {
+	if bit != 0 && bit != 1 {
+		return 0, 0, fmt.Errorf("rcomm: bit must be 0 or 1, got %d", bit)
+	}
+	// Round 1: move frame-clockwise when the bit is 1; round 2: the reverse.
+	dir1 := ring.Anticlockwise
+	if bit == 1 {
+		dir1 = ring.Clockwise
+	}
+	obs1, err := l.frame.RoundPair(dir1)
+	if err != nil {
+		return 0, 0, err
+	}
+	obs2, err := l.frame.RoundPair(dir1.Opposite())
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// In the round where we moved clockwise we probed the right neighbour; in
+	// the other round the left neighbour.
+	cwRound, cwObs := 1, obs1
+	ccwObs := obs2
+	if bit == 0 {
+		cwRound, cwObs = 2, obs2
+		ccwObs = obs1
+	}
+	ccwRound := 3 - cwRound
+
+	// The right neighbour sits on our frame-clockwise side, so its own
+	// frame-clockwise direction points at us exactly when its sense of
+	// direction is opposite to ours; symmetrically for the left neighbour.
+	right = decodeNeighbourBit(cwRound, tight(cwObs, l.nb.RightGap), !l.nb.RightSameSense)
+	left = decodeNeighbourBit(ccwRound, tight(ccwObs, l.nb.LeftGap), l.nb.LeftSameSense)
+	return left, right, nil
+}
+
+// tight reports whether the observation's first collision happened exactly at
+// half the gap to the probed neighbour, i.e. that neighbour moved towards us.
+func tight(obs engine.Observation, gap int64) bool {
+	return obs.Collided && 2*obs.Coll == gap
+}
+
+// decodeNeighbourBit recovers the neighbour's transmitted bit.
+//
+// Every agent moves frame-clockwise in round 1 iff its bit is 1 (and the
+// opposite in round 2).  "towards" reports whether the neighbour moved
+// towards us in the given round; movedCWTowardsUs reports whether the
+// neighbour's frame-clockwise direction points at us (true when we probed our
+// right neighbour and it has the opposite sense, or we probed our left
+// neighbour and it has the same sense).
+func decodeNeighbourBit(round int, towards, movedCWTowardsUs bool) int {
+	// The neighbour chose its frame-clockwise direction in this round iff
+	// (round == 1) == (its bit == 1).
+	choseCW := towards == movedCWTowardsUs
+	bitIsOne := choseCW == (round == 1)
+	if bitIsOne {
+		return 1
+	}
+	return 0
+}
+
+// ExchangeWord transmits a word of the given width (LSB first) to both
+// neighbours and returns the words received from the left and right
+// neighbours.  Cost: 4·bits rounds.
+func (l *Link) ExchangeWord(word uint64, bits int) (left, right uint64, err error) {
+	if bits <= 0 || bits > 63 {
+		return 0, 0, fmt.Errorf("%w: %d bits", ErrBadBits, bits)
+	}
+	for i := 0; i < bits; i++ {
+		lb, rb, err := l.ExchangeBit(int((word >> i) & 1))
+		if err != nil {
+			return 0, 0, err
+		}
+		left |= uint64(lb) << i
+		right |= uint64(rb) << i
+	}
+	return left, right, nil
+}
+
+// Exchange transmits possibly different words to the left and right
+// neighbours (each of the given width) and returns the words each neighbour
+// addressed to this agent.  Cost: 8·bits rounds.
+func (l *Link) Exchange(toLeft, toRight uint64, bits int) (fromLeft, fromRight uint64, err error) {
+	if bits <= 0 || 2*bits > 62 {
+		return 0, 0, fmt.Errorf("%w: %d bits per side", ErrBadBits, bits)
+	}
+	mask := uint64(1)<<bits - 1
+	packed := (toRight & mask) | (toLeft&mask)<<bits
+	leftWord, rightWord, err := l.ExchangeWord(packed, 2*bits)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Our left neighbour packed [its toRight | its toLeft<<bits].  We are its
+	// right neighbour exactly when it has the same sense of direction.
+	if l.nb.LeftSameSense {
+		fromLeft = leftWord & mask
+	} else {
+		fromLeft = (leftWord >> bits) & mask
+	}
+	// Our right neighbour: we are its left neighbour when senses agree.
+	if l.nb.RightSameSense {
+		fromRight = (rightWord >> bits) & mask
+	} else {
+		fromRight = rightWord & mask
+	}
+	return fromLeft, fromRight, nil
+}

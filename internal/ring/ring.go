@@ -1,0 +1,404 @@
+// Package ring implements the analytic round engine for the bouncing-agents
+// model of Gąsieniec, Jurdziński, Martin and Stachowiak (ICDCS 2015).
+//
+// The engine keeps the objective state of the ring (the fixed multiset of
+// starting positions plus the cumulative rotation offset) and, for a given
+// assignment of objective directions, produces the per-agent observables of
+// the model:
+//
+//   - dist() — the clockwise arc between an agent's position at the beginning
+//     and at the end of the round (Lemma 1: every agent is shifted by the
+//     rotation index r = (nC−nA) mod n positions), and
+//   - coll() — the arc to the agent's first collision in the round
+//     (Proposition 4: half the aggregate gap to the nearest oppositely-moving
+//     agent ahead), available in the perceptive model.
+//
+// All observable arcs are reported in half-ticks (2×ticks) so that the /2 of
+// the first-collision rule stays exact in integer arithmetic.
+//
+// The package is purely computational: it has no notion of agent identifiers,
+// chirality or protocols.  Package internal/engine builds the per-agent
+// distributed runtime on top of it, and package internal/physics provides an
+// independent event-driven simulator used to cross-validate this engine.
+package ring
+
+import (
+	"errors"
+	"fmt"
+
+	"ringsym/internal/geom"
+)
+
+// Direction is the action an agent takes at the beginning of a round.
+// Directions handled by this package are objective (global frame); the
+// translation from an agent's own sense of direction happens in
+// internal/engine.
+type Direction int8
+
+const (
+	// Idle means the agent starts the round without moving (lazy model only).
+	Idle Direction = iota
+	// Clockwise means the agent starts the round moving clockwise.
+	Clockwise
+	// Anticlockwise means the agent starts the round moving anticlockwise.
+	Anticlockwise
+)
+
+// Opposite returns the reversed direction; Idle stays Idle.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case Clockwise:
+		return Anticlockwise
+	case Anticlockwise:
+		return Clockwise
+	default:
+		return Idle
+	}
+}
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Idle:
+		return "idle"
+	case Clockwise:
+		return "clockwise"
+	case Anticlockwise:
+		return "anticlockwise"
+	default:
+		return fmt.Sprintf("Direction(%d)", int8(d))
+	}
+}
+
+// Model selects which variant of the movement model is in force.
+type Model int8
+
+const (
+	// Basic: agents must move every round; the only observable is dist().
+	Basic Model = iota + 1
+	// Lazy: agents may additionally stay idle; the only observable is dist().
+	Lazy
+	// Perceptive: as Basic, plus the coll() observable.
+	Perceptive
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case Basic:
+		return "basic"
+	case Lazy:
+		return "lazy"
+	case Perceptive:
+		return "perceptive"
+	default:
+		return fmt.Sprintf("Model(%d)", int8(m))
+	}
+}
+
+// Valid reports whether m is one of the defined models.
+func (m Model) Valid() bool { return m == Basic || m == Lazy || m == Perceptive }
+
+// AllowsIdle reports whether the model permits the Idle action.
+func (m Model) AllowsIdle() bool { return m == Lazy }
+
+// RevealsCollision reports whether the model exposes coll().
+func (m Model) RevealsCollision() bool { return m == Perceptive }
+
+// Errors returned by the engine.
+var (
+	ErrTooFewAgents      = errors.New("ring: the paper requires n > 4 agents")
+	ErrBadPositions      = errors.New("ring: positions must be sorted clockwise, distinct and in range")
+	ErrIdleNotAllowed    = errors.New("ring: idle is only allowed in the lazy model")
+	ErrWrongDirCount     = errors.New("ring: direction slice length must equal the number of agents")
+	ErrInvalidDirection  = errors.New("ring: invalid direction value")
+	ErrInvalidModel      = errors.New("ring: invalid model")
+	ErrAllowSmallMissing = errors.New("ring: fewer than 2 agents")
+)
+
+// Config describes the objective initial configuration of a ring network.
+type Config struct {
+	// Model is the movement model in force.
+	Model Model
+	// Circ is the circumference in ticks; it must be positive and even.
+	Circ int64
+	// Positions are the starting positions of the agents in ticks, sorted
+	// strictly increasing (clockwise order).  Positions[i] belongs to the
+	// agent with ring index i.
+	Positions []int64
+	// AllowSmall permits n <= 4 configurations, which the paper excludes but
+	// which are useful for unit tests of the engine itself.
+	AllowSmall bool
+}
+
+// State is the objective state of the ring between rounds: the fixed slot
+// positions plus the cumulative rotation offset.  Agent with ring index i
+// currently occupies slot (i+offset) mod n.
+type State struct {
+	model  Model
+	circle geom.Circle
+	slots  []int64 // fixed positions, sorted clockwise
+	gaps   []int64 // gaps[s] = clockwise arc from slots[s] to slots[(s+1)%n]
+	offset int     // cumulative rotation (in ring positions)
+	rounds int     // number of rounds executed
+}
+
+// Observation is the per-agent outcome of one round, in the objective frame.
+// Arc quantities are in half-ticks.
+type Observation struct {
+	// DistCW is the clockwise arc from the agent's position at the start of
+	// the round to its position at the end, in half-ticks.
+	DistCW int64
+	// Coll is the arc from the agent's starting position to its first
+	// collision, in half-ticks, measured along its initial direction of
+	// movement.  It is only meaningful when Collided is true and only
+	// computed in the perceptive model.
+	Coll int64
+	// Collided reports whether the agent collided at all during the round
+	// (perceptive model only).
+	Collided bool
+}
+
+// Outcome is the result of executing one round.
+type Outcome struct {
+	// Rotation is the rotation index r = (nC − nA) mod n of the round.
+	Rotation int
+	// Agents holds the per-agent observations indexed by ring index.
+	Agents []Observation
+}
+
+// New validates cfg and returns the initial state.
+func New(cfg Config) (*State, error) {
+	if !cfg.Model.Valid() {
+		return nil, ErrInvalidModel
+	}
+	circle, err := geom.New(cfg.Circ)
+	if err != nil {
+		return nil, fmt.Errorf("ring: %w", err)
+	}
+	n := len(cfg.Positions)
+	if n < 2 {
+		return nil, ErrAllowSmallMissing
+	}
+	if n <= 4 && !cfg.AllowSmall {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooFewAgents, n)
+	}
+	if !geom.SortedDistinct(cfg.Circ, cfg.Positions) {
+		return nil, ErrBadPositions
+	}
+	slots := make([]int64, n)
+	copy(slots, cfg.Positions)
+	return &State{
+		model:  cfg.Model,
+		circle: circle,
+		slots:  slots,
+		gaps:   circle.Gaps(slots),
+		offset: 0,
+	}, nil
+}
+
+// N returns the number of agents.
+func (s *State) N() int { return len(s.slots) }
+
+// Model returns the movement model in force.
+func (s *State) Model() Model { return s.model }
+
+// Circ returns the circumference in ticks.
+func (s *State) Circ() int64 { return s.circle.Circ() }
+
+// FullCircle returns the circumference expressed in observation units
+// (half-ticks).
+func (s *State) FullCircle() int64 { return 2 * s.circle.Circ() }
+
+// Rounds returns the number of rounds executed so far.
+func (s *State) Rounds() int { return s.rounds }
+
+// Offset returns the cumulative rotation offset.
+func (s *State) Offset() int { return s.offset }
+
+// Slot returns the slot index currently occupied by the agent with ring
+// index i.
+func (s *State) Slot(i int) int { return (i + s.offset) % len(s.slots) }
+
+// PositionOf returns the current position (ticks) of the agent with ring
+// index i.
+func (s *State) PositionOf(i int) int64 { return s.slots[s.Slot(i)] }
+
+// SlotPositions returns a copy of the fixed slot positions (ticks), sorted
+// clockwise.
+func (s *State) SlotPositions() []int64 {
+	out := make([]int64, len(s.slots))
+	copy(out, s.slots)
+	return out
+}
+
+// Gaps returns a copy of the clockwise gaps between consecutive slots.
+func (s *State) Gaps() []int64 {
+	out := make([]int64, len(s.gaps))
+	copy(out, s.gaps)
+	return out
+}
+
+// Clone returns an independent copy of the state.
+func (s *State) Clone() *State {
+	cp := *s
+	cp.slots = append([]int64(nil), s.slots...)
+	cp.gaps = append([]int64(nil), s.gaps...)
+	return &cp
+}
+
+// RotationIndex returns (nC−nA) mod n for the given objective directions.
+func RotationIndex(n int, dirs []Direction) int {
+	nc, na := 0, 0
+	for _, d := range dirs {
+		switch d {
+		case Clockwise:
+			nc++
+		case Anticlockwise:
+			na++
+		}
+	}
+	r := (nc - na) % n
+	if r < 0 {
+		r += n
+	}
+	return r
+}
+
+// validate checks the direction slice against the model.
+func (s *State) validate(dirs []Direction) error {
+	if len(dirs) != len(s.slots) {
+		return fmt.Errorf("%w: got %d, want %d", ErrWrongDirCount, len(dirs), len(s.slots))
+	}
+	for i, d := range dirs {
+		switch d {
+		case Clockwise, Anticlockwise:
+		case Idle:
+			if !s.model.AllowsIdle() {
+				return fmt.Errorf("%w: agent with ring index %d", ErrIdleNotAllowed, i)
+			}
+		default:
+			return fmt.Errorf("%w: agent with ring index %d has direction %d", ErrInvalidDirection, i, int8(d))
+		}
+	}
+	return nil
+}
+
+// ExecuteRound executes one round in which the agent with ring index i starts
+// moving in the objective direction dirs[i].  It advances the state and
+// returns the per-agent observations.
+func (s *State) ExecuteRound(dirs []Direction) (*Outcome, error) {
+	if err := s.validate(dirs); err != nil {
+		return nil, err
+	}
+	n := len(s.slots)
+	r := RotationIndex(n, dirs)
+
+	out := &Outcome{Rotation: r, Agents: make([]Observation, n)}
+
+	// dist(): by Lemma 1 agent i moves from slot (i+offset) to slot
+	// (i+offset+r); its clockwise displacement is the arc between the two
+	// slot positions.
+	for i := 0; i < n; i++ {
+		from := (i + s.offset) % n
+		to := (from + r) % n
+		arc := s.circle.CWDist(s.slots[from], s.slots[to])
+		out.Agents[i].DistCW = 2 * arc
+	}
+
+	// coll(): only in the perceptive model (which forbids idle agents).
+	if s.model.RevealsCollision() {
+		s.firstCollisions(dirs, out)
+	}
+
+	s.offset = (s.offset + r) % n
+	s.rounds++
+	return out, nil
+}
+
+// firstCollisions fills Coll/Collided for every agent.  The model forbids
+// idle agents here, so Proposition 4 applies: an agent moving clockwise first
+// collides after half the aggregate clockwise gap to the nearest agent that
+// started the round moving anticlockwise (and symmetrically).  If every agent
+// moves in the same objective direction nobody ever collides.
+func (s *State) firstCollisions(dirs []Direction, out *Outcome) {
+	n := len(s.slots)
+	// dirBySlot[t] is the direction of the occupant of slot t.
+	dirBySlot := make([]Direction, n)
+	for i := 0; i < n; i++ {
+		dirBySlot[(i+s.offset)%n] = dirs[i]
+	}
+
+	// cwToA[t]: aggregate clockwise gap (ticks) from slot t to the nearest
+	// slot strictly ahead whose occupant moves anticlockwise; -1 if none.
+	cwToA := distanceToDirection(s.gaps, dirBySlot, Anticlockwise, true)
+	// ccwToC[t]: aggregate anticlockwise gap from slot t to the nearest slot
+	// strictly behind whose occupant moves clockwise; -1 if none.
+	ccwToC := distanceToDirection(s.gaps, dirBySlot, Clockwise, false)
+
+	for i := 0; i < n; i++ {
+		slot := (i + s.offset) % n
+		var agg int64 = -1
+		switch dirs[i] {
+		case Clockwise:
+			agg = cwToA[slot]
+		case Anticlockwise:
+			agg = ccwToC[slot]
+		}
+		if agg >= 0 {
+			out.Agents[i].Collided = true
+			// Collision after half the aggregate gap: in half-ticks that is
+			// exactly the aggregate gap in ticks.
+			out.Agents[i].Coll = agg
+		}
+	}
+}
+
+// distanceToDirection computes, for every slot t, the aggregate gap from t to
+// the nearest slot strictly ahead whose occupant moves in direction want,
+// walking clockwise when cw is true and anticlockwise otherwise.  Every entry
+// is -1 when no slot has the wanted direction.  Runs in O(n).
+func distanceToDirection(gaps []int64, dirBySlot []Direction, want Direction, cw bool) []int64 {
+	n := len(gaps)
+	res := make([]int64, n)
+	// Find any slot with the wanted direction to anchor the scan.
+	anchor := -1
+	for t := 0; t < n; t++ {
+		if dirBySlot[t] == want {
+			anchor = t
+			break
+		}
+	}
+	if anchor == -1 {
+		for i := range res {
+			res[i] = -1
+		}
+		return res
+	}
+	if cw {
+		// Process slots walking backwards from the anchor so that the value
+		// of each slot's clockwise successor is already known.
+		for k := 1; k <= n; k++ {
+			t := ((anchor-k)%n + n) % n
+			next := (t + 1) % n
+			if dirBySlot[next] == want {
+				res[t] = gaps[t]
+			} else {
+				res[t] = gaps[t] + res[next]
+			}
+		}
+		return res
+	}
+	// Anticlockwise walk: each slot's value depends on its anticlockwise
+	// predecessor, so process slots walking forwards from the anchor.
+	for k := 1; k <= n; k++ {
+		t := (anchor + k) % n
+		prev := ((t-1)%n + n) % n
+		if dirBySlot[prev] == want {
+			res[t] = gaps[prev]
+		} else {
+			res[t] = gaps[prev] + res[prev]
+		}
+	}
+	return res
+}

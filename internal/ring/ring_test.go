@@ -1,0 +1,320 @@
+package ring
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustState(t *testing.T, cfg Config) *State {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func basicConfig(positions []int64) Config {
+	return Config{Model: Perceptive, Circ: 1000, Positions: positions, AllowSmall: true}
+}
+
+func TestNewValidation(t *testing.T) {
+	ok := []int64{0, 100, 200, 300, 400}
+	cases := []struct {
+		name string
+		cfg  Config
+		want error
+	}{
+		{"invalid model", Config{Model: 0, Circ: 1000, Positions: ok}, ErrInvalidModel},
+		{"odd circumference", Config{Model: Basic, Circ: 999, Positions: ok}, nil},
+		{"too few agents", Config{Model: Basic, Circ: 1000, Positions: []int64{1, 2, 3}}, ErrTooFewAgents},
+		{"single agent", Config{Model: Basic, Circ: 1000, Positions: []int64{1}}, ErrAllowSmallMissing},
+		{"unsorted", Config{Model: Basic, Circ: 1000, Positions: []int64{5, 1, 9, 20, 30}}, ErrBadPositions},
+		{"duplicate", Config{Model: Basic, Circ: 1000, Positions: []int64{1, 1, 9, 20, 30}}, ErrBadPositions},
+		{"out of range", Config{Model: Basic, Circ: 1000, Positions: []int64{1, 5, 9, 20, 1000}}, ErrBadPositions},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+	if _, err := New(Config{Model: Basic, Circ: 1000, Positions: ok}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestRotationIndex(t *testing.T) {
+	cases := []struct {
+		dirs []Direction
+		want int
+	}{
+		{[]Direction{Clockwise, Clockwise, Clockwise, Clockwise}, 0},
+		{[]Direction{Anticlockwise, Anticlockwise, Anticlockwise, Anticlockwise}, 0},
+		{[]Direction{Clockwise, Clockwise, Clockwise, Anticlockwise}, 2},
+		{[]Direction{Clockwise, Anticlockwise, Anticlockwise, Anticlockwise}, 2},
+		{[]Direction{Clockwise, Clockwise, Anticlockwise, Anticlockwise}, 0},
+		{[]Direction{Idle, Clockwise, Anticlockwise, Idle}, 0},
+		{[]Direction{Idle, Clockwise, Idle, Idle}, 1},
+		{[]Direction{Idle, Anticlockwise, Idle, Idle}, 3},
+	}
+	for i, tc := range cases {
+		if got := RotationIndex(len(tc.dirs), tc.dirs); got != tc.want {
+			t.Errorf("case %d: RotationIndex = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestExecuteRoundDist(t *testing.T) {
+	// Four agents at 0, 100, 300, 600 on a circle of 1000.
+	s := mustState(t, basicConfig([]int64{0, 100, 300, 600}))
+	// Three clockwise, one anticlockwise: rotation index 2.
+	out, err := s.ExecuteRound([]Direction{Clockwise, Clockwise, Clockwise, Anticlockwise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rotation != 2 {
+		t.Fatalf("rotation = %d, want 2", out.Rotation)
+	}
+	// Agent 0 moves from slot 0 (pos 0) to slot 2 (pos 300): dist 300 ticks
+	// = 600 half-ticks; agent 1: 100->600 = 500 ticks; agent 2: 300->0 = 700;
+	// agent 3: 600->100 = 500.
+	wantDist := []int64{600, 1000, 1400, 1000}
+	for i, w := range wantDist {
+		if out.Agents[i].DistCW != w {
+			t.Errorf("agent %d dist = %d, want %d", i, out.Agents[i].DistCW, w)
+		}
+	}
+	if s.Offset() != 2 {
+		t.Fatalf("offset = %d, want 2", s.Offset())
+	}
+	if s.PositionOf(0) != 300 {
+		t.Fatalf("agent 0 position = %d, want 300", s.PositionOf(0))
+	}
+	if s.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", s.Rounds())
+	}
+}
+
+func TestExecuteRoundFirstCollision(t *testing.T) {
+	// Configuration from the design notes: circumference 20, agents at
+	// 0 (a, clockwise), 1 (b, anticlockwise), 17 (d, clockwise).
+	// Ring order sorted clockwise: index 0 at 0 (a), 1 at 1 (b), 2 at 17 (d).
+	s := mustState(t, Config{Model: Perceptive, Circ: 20, Positions: []int64{0, 1, 17}, AllowSmall: true})
+	out, err := s.ExecuteRound([]Direction{Clockwise, Anticlockwise, Clockwise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's first collision with b after half of gap 1 -> 0.5 ticks = 1 half-tick.
+	if !out.Agents[0].Collided || out.Agents[0].Coll != 1 {
+		t.Errorf("agent a coll = %v %d, want 1", out.Agents[0].Collided, out.Agents[0].Coll)
+	}
+	// b moves anticlockwise towards a: same collision, also half of gap 1.
+	if !out.Agents[1].Collided || out.Agents[1].Coll != 1 {
+		t.Errorf("agent b coll = %v %d, want 1", out.Agents[1].Collided, out.Agents[1].Coll)
+	}
+	// d moves clockwise; aggregate gap to the nearest anticlockwise agent (b)
+	// is 3 + 1 = 4 ticks -> first collision after 2 ticks = 4 half-ticks.
+	if !out.Agents[2].Collided || out.Agents[2].Coll != 4 {
+		t.Errorf("agent d coll = %v %d, want 4", out.Agents[2].Collided, out.Agents[2].Coll)
+	}
+}
+
+func TestExecuteRoundNoCollisionWhenUnanimous(t *testing.T) {
+	s := mustState(t, basicConfig([]int64{0, 100, 300, 600}))
+	out, err := s.ExecuteRound([]Direction{Clockwise, Clockwise, Clockwise, Clockwise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rotation != 0 {
+		t.Fatalf("rotation = %d, want 0", out.Rotation)
+	}
+	for i, a := range out.Agents {
+		if a.Collided {
+			t.Errorf("agent %d should not collide", i)
+		}
+		if a.DistCW != 0 {
+			t.Errorf("agent %d dist = %d, want 0", i, a.DistCW)
+		}
+	}
+}
+
+func TestIdleRejectedOutsideLazy(t *testing.T) {
+	for _, m := range []Model{Basic, Perceptive} {
+		s := mustState(t, Config{Model: m, Circ: 1000, Positions: []int64{0, 100, 300, 600}, AllowSmall: true})
+		_, err := s.ExecuteRound([]Direction{Idle, Clockwise, Clockwise, Clockwise})
+		if !errors.Is(err, ErrIdleNotAllowed) {
+			t.Errorf("model %v: got %v, want ErrIdleNotAllowed", m, err)
+		}
+	}
+	s := mustState(t, Config{Model: Lazy, Circ: 1000, Positions: []int64{0, 100, 300, 600}, AllowSmall: true})
+	if _, err := s.ExecuteRound([]Direction{Idle, Clockwise, Clockwise, Clockwise}); err != nil {
+		t.Errorf("lazy model rejected idle: %v", err)
+	}
+}
+
+func TestExecuteRoundErrors(t *testing.T) {
+	s := mustState(t, basicConfig([]int64{0, 100, 300, 600}))
+	if _, err := s.ExecuteRound([]Direction{Clockwise}); !errors.Is(err, ErrWrongDirCount) {
+		t.Errorf("got %v, want ErrWrongDirCount", err)
+	}
+	if _, err := s.ExecuteRound([]Direction{Clockwise, Clockwise, Clockwise, Direction(9)}); !errors.Is(err, ErrInvalidDirection) {
+		t.Errorf("got %v, want ErrInvalidDirection", err)
+	}
+}
+
+func TestLazyMomentumTransferRotation(t *testing.T) {
+	// Two agents, one moving, one idle: design-note example scaled to 20.
+	s := mustState(t, Config{Model: Lazy, Circ: 20, Positions: []int64{0, 10}, AllowSmall: true})
+	out, err := s.ExecuteRound([]Direction{Clockwise, Idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rotation != 1 {
+		t.Fatalf("rotation = %d, want 1", out.Rotation)
+	}
+	if s.PositionOf(0) != 10 || s.PositionOf(1) != 0 {
+		t.Fatalf("positions = %d,%d want 10,0", s.PositionOf(0), s.PositionOf(1))
+	}
+}
+
+func TestReversedRoundRestoresPositions(t *testing.T) {
+	s := mustState(t, basicConfig([]int64{0, 100, 300, 600, 800}))
+	dirs := []Direction{Clockwise, Anticlockwise, Clockwise, Clockwise, Anticlockwise}
+	before := make([]int64, s.N())
+	for i := range before {
+		before[i] = s.PositionOf(i)
+	}
+	if _, err := s.ExecuteRound(dirs); err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]Direction, len(dirs))
+	for i, d := range dirs {
+		rev[i] = d.Opposite()
+	}
+	if _, err := s.ExecuteRound(rev); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if s.PositionOf(i) != before[i] {
+			t.Fatalf("agent %d not restored: %d != %d", i, s.PositionOf(i), before[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := mustState(t, basicConfig([]int64{0, 100, 300, 600}))
+	c := s.Clone()
+	if _, err := s.ExecuteRound([]Direction{Clockwise, Clockwise, Clockwise, Anticlockwise}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Offset() != 0 || c.Rounds() != 0 {
+		t.Fatal("clone mutated by original's round")
+	}
+}
+
+func TestDirectionHelpers(t *testing.T) {
+	if Clockwise.Opposite() != Anticlockwise || Anticlockwise.Opposite() != Clockwise || Idle.Opposite() != Idle {
+		t.Error("Opposite misbehaves")
+	}
+	for _, d := range []Direction{Idle, Clockwise, Anticlockwise, Direction(42)} {
+		if d.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+	for _, m := range []Model{Basic, Lazy, Perceptive, Model(42)} {
+		if m.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+	if !Lazy.AllowsIdle() || Basic.AllowsIdle() || Perceptive.AllowsIdle() {
+		t.Error("AllowsIdle misbehaves")
+	}
+	if !Perceptive.RevealsCollision() || Basic.RevealsCollision() || Lazy.RevealsCollision() {
+		t.Error("RevealsCollision misbehaves")
+	}
+	if Model(42).Valid() {
+		t.Error("invalid model accepted")
+	}
+}
+
+// TestRotationLemmaProperty checks Lemma 1 directly: the multiset of occupied
+// positions never changes and every agent is displaced by the same number of
+// ring positions.
+func TestRotationLemmaProperty(t *testing.T) {
+	f := func(seed int64, raw []bool) bool {
+		n := 5 + int(uint64(seed)%8)
+		if len(raw) < n {
+			return true
+		}
+		positions := make([]int64, n)
+		for i := range positions {
+			positions[i] = int64(i) * 100
+		}
+		s, err := New(Config{Model: Perceptive, Circ: int64(n) * 100, Positions: positions})
+		if err != nil {
+			return false
+		}
+		dirs := make([]Direction, n)
+		for i := range dirs {
+			if raw[i] {
+				dirs[i] = Clockwise
+			} else {
+				dirs[i] = Anticlockwise
+			}
+		}
+		out, err := s.ExecuteRound(dirs)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			want := positions[(i+out.Rotation)%n]
+			if s.PositionOf(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullCircleAndAccessors(t *testing.T) {
+	s := mustState(t, basicConfig([]int64{0, 100, 300, 600}))
+	if s.FullCircle() != 2000 {
+		t.Errorf("FullCircle = %d, want 2000", s.FullCircle())
+	}
+	if s.Circ() != 1000 {
+		t.Errorf("Circ = %d, want 1000", s.Circ())
+	}
+	if s.N() != 4 {
+		t.Errorf("N = %d, want 4", s.N())
+	}
+	if s.Model() != Perceptive {
+		t.Errorf("Model = %v", s.Model())
+	}
+	gaps := s.Gaps()
+	want := []int64{100, 200, 300, 400}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+	pos := s.SlotPositions()
+	pos[0] = 99 // must not alias internal state
+	if s.SlotPositions()[0] != 0 {
+		t.Error("SlotPositions aliases internal state")
+	}
+	g := s.Gaps()
+	g[0] = 99
+	if s.Gaps()[0] != 100 {
+		t.Error("Gaps aliases internal state")
+	}
+}

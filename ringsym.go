@@ -1,0 +1,360 @@
+// Package ringsym is a Go reproduction of "Deterministic Symmetry Breaking in
+// Ring Networks" (Gąsieniec, Jurdziński, Martin, Stachowiak — ICDCS 2015,
+// arXiv:1504.07127).
+//
+// The paper studies n mobile agents with unique identifiers on a circle of
+// circumference 1.  Agents move in synchronised rounds at unit speed, bounce
+// off each other elastically, cannot communicate, and at the end of each
+// round learn only limited information about their own trajectory: the net
+// displacement dist() and — in the perceptive model — the distance coll() to
+// their first collision.  The paper determines the deterministic complexity
+// of four problems in this model: the nontrivial move problem, direction
+// agreement, leader election and location discovery.
+//
+// This package is the public facade over the full implementation:
+//
+//   - Network wraps a simulated ring of agents (exact integer geometry,
+//     goroutine-per-agent synchronous runtime);
+//   - Coordinate runs the symmetry-breaking pipeline of the paper
+//     (nontrivial move → direction agreement → leader election);
+//   - DiscoverLocations runs location discovery with the best algorithm for
+//     the model and parity (Lemma 16 or Theorem 42);
+//   - Run exposes the raw per-agent runtime for custom protocols.
+//
+// The sub-packages under internal/ contain the substrates (geometry, physics,
+// engine, combinatorics, communication layer) and the individual algorithms;
+// see DESIGN.md for the full inventory and EXPERIMENTS.md for the
+// reproduction of the paper's tables and figures.
+package ringsym
+
+import (
+	"errors"
+	"fmt"
+
+	"ringsym/internal/core"
+	"ringsym/internal/discovery"
+	"ringsym/internal/engine"
+	"ringsym/internal/netgen"
+	"ringsym/internal/perceptive"
+	"ringsym/internal/ring"
+)
+
+// Model selects the movement model of the paper.
+type Model = ring.Model
+
+// Movement models.
+const (
+	// Basic: every agent must move each round; only dist() is observed.
+	Basic = ring.Basic
+	// Lazy: agents may also stay idle.
+	Lazy = ring.Lazy
+	// Perceptive: as Basic, plus the coll() observable.
+	Perceptive = ring.Perceptive
+)
+
+// Direction is an agent's action for a round, in its own frame.
+type Direction = ring.Direction
+
+// Directions.
+const (
+	Idle          = ring.Idle
+	Clockwise     = ring.Clockwise
+	Anticlockwise = ring.Anticlockwise
+)
+
+// Agent is the handle a protocol uses to act in the network.
+type Agent = engine.Agent
+
+// Observation is what an agent learns at the end of a round.
+type Observation = engine.Observation
+
+// ErrVerification is returned when a protocol outcome contradicts the ground
+// truth of the simulated network.
+var ErrVerification = errors.New("ringsym: verification failed")
+
+// Config describes a network.
+type Config struct {
+	// Model is the movement model (Basic, Lazy or Perceptive).
+	Model Model
+	// Circumference of the ring in ticks (positive, even).  The paper's unit
+	// circle corresponds to any value; observations are reported in
+	// half-ticks.
+	Circumference int64
+	// Positions are the agents' starting positions in ticks, sorted strictly
+	// clockwise.
+	Positions []int64
+	// IDs are the agents' unique identifiers, in [1, IDBound], by ring index.
+	IDs []int
+	// IDBound is the publicly known bound N on identifiers.
+	IDBound int
+	// Chirality[i] is true when agent i's private clockwise equals the global
+	// clockwise; nil means all agents are oriented the same way.
+	Chirality []bool
+	// MaxRounds aborts runaway protocols (0 = a large default).
+	MaxRounds int
+}
+
+// RandomConfig controls RandomNetwork.
+type RandomConfig struct {
+	// N is the number of agents (> 4).
+	N int
+	// IDBound is N of the paper; defaults to 4·N.
+	IDBound int
+	// Model is the movement model; defaults to Perceptive.
+	Model Model
+	// MixedChirality gives every agent an independent random orientation.
+	MixedChirality bool
+	// CommonChirality forces all agents to share the global orientation
+	// (the default when MixedChirality is false).
+	Seed int64
+	// Circumference in ticks; defaults to 1<<20.
+	Circumference int64
+}
+
+// Network is a simulated ring network.
+type Network struct {
+	nw *engine.Network
+}
+
+// NewNetwork builds a network from an explicit configuration.
+func NewNetwork(cfg Config) (*Network, error) {
+	nw, err := engine.New(engine.Config{
+		Model:     cfg.Model,
+		Circ:      cfg.Circumference,
+		Positions: cfg.Positions,
+		IDs:       cfg.IDs,
+		IDBound:   cfg.IDBound,
+		Chirality: cfg.Chirality,
+		MaxRounds: cfg.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{nw: nw}, nil
+}
+
+// RandomNetwork builds a pseudo-random network (deterministic for a fixed
+// seed).
+func RandomNetwork(cfg RandomConfig) (*Network, error) {
+	gen, err := netgen.Generate(netgen.Options{
+		N:                   cfg.N,
+		IDBound:             cfg.IDBound,
+		Circ:                cfg.Circumference,
+		Model:               cfg.Model,
+		MixedChirality:      cfg.MixedChirality,
+		ForceSplitChirality: cfg.MixedChirality,
+		Seed:                cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nw, err := engine.New(gen)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{nw: nw}, nil
+}
+
+// N returns the number of agents.
+func (n *Network) N() int { return n.nw.N() }
+
+// Model returns the movement model.
+func (n *Network) Model() Model { return n.nw.Model() }
+
+// Rounds returns the total number of rounds executed so far.
+func (n *Network) Rounds() int { return n.nw.Rounds() }
+
+// IDOf returns the identifier of the agent with the given ring index.
+func (n *Network) IDOf(i int) int { return n.nw.IDOf(i) }
+
+// InitialPositions returns the agents' starting positions (ticks) by ring
+// index.
+func (n *Network) InitialPositions() []int64 { return n.nw.InitialPositions() }
+
+// CurrentPositions returns the agents' current positions (ticks) by ring
+// index.
+func (n *Network) CurrentPositions() []int64 { return n.nw.CurrentPositions() }
+
+// Engine exposes the underlying runtime for advanced uses (custom protocols
+// via Run).
+func (n *Network) Engine() *engine.Network { return n.nw }
+
+// Run executes a custom per-agent protocol on every agent concurrently and
+// returns the outputs by ring index together with the number of rounds used.
+func Run[T any](n *Network, protocol func(a *Agent) (T, error)) ([]T, int, error) {
+	res, err := engine.Run(n.nw, protocol)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Outputs, res.Rounds, nil
+}
+
+// CoordinationOptions configures Coordinate.
+type CoordinationOptions struct {
+	// CommonSense promises that all agents share a sense of direction (the
+	// paper's Table II setting).  Only set it for networks built without
+	// mixed chirality.
+	CommonSense bool
+	// Seed drives the pseudo-random schedules used for even n.
+	Seed int64
+	// UsePerceptiveAlgorithms selects the O(√n·log N) Section V algorithms
+	// when the model is perceptive (default true for perceptive networks).
+	DisablePerceptiveAlgorithms bool
+}
+
+// AgentCoordination is one agent's coordination outcome.
+type AgentCoordination struct {
+	ID               int
+	IsLeader         bool
+	RoundsNontrivial int
+	RoundsAgreement  int
+	RoundsLeader     int
+}
+
+// CoordinationResult aggregates a coordination run.
+type CoordinationResult struct {
+	// Rounds is the total number of rounds used.
+	Rounds int
+	// LeaderID is the identifier of the elected leader.
+	LeaderID int
+	// PerAgent holds the per-agent outcomes by ring index.
+	PerAgent []AgentCoordination
+}
+
+// Coordinate solves the three coordination problems of the paper (nontrivial
+// move, direction agreement, leader election) on every agent and verifies
+// that exactly one leader was elected.
+func (n *Network) Coordinate(opts CoordinationOptions) (*CoordinationResult, error) {
+	usePerceptive := n.Model() == Perceptive && !opts.DisablePerceptiveAlgorithms && !opts.CommonSense
+	outputs, rounds, err := Run(n, func(a *Agent) (*core.Coordination, error) {
+		if usePerceptive {
+			return perceptive.Coordinate(a, perceptive.Options{Seed: opts.Seed})
+		}
+		return core.Coordinate(a, core.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CoordinationResult{Rounds: rounds, PerAgent: make([]AgentCoordination, len(outputs))}
+	leaders := 0
+	for i, c := range outputs {
+		res.PerAgent[i] = AgentCoordination{
+			ID:               n.nw.IDOf(i),
+			IsLeader:         c.IsLeader,
+			RoundsNontrivial: c.RoundsNontrivial,
+			RoundsAgreement:  c.RoundsAgreement,
+			RoundsLeader:     c.RoundsLeader,
+		}
+		if c.IsLeader {
+			leaders++
+			res.LeaderID = n.nw.IDOf(i)
+		}
+	}
+	if leaders != 1 {
+		return nil, fmt.Errorf("%w: %d leaders elected", ErrVerification, leaders)
+	}
+	return res, nil
+}
+
+// DiscoveryOptions configures DiscoverLocations.
+type DiscoveryOptions struct {
+	// CommonSense promises an a-priori common sense of direction.
+	CommonSense bool
+	// Seed drives the pseudo-random schedules.
+	Seed int64
+}
+
+// AgentDiscovery is one agent's location-discovery outcome.
+type AgentDiscovery struct {
+	ID       int
+	IsLeader bool
+	// N is the number of agents the protocol discovered.
+	N int
+	// Positions[t] is the arc (in half-ticks, measured in the agent's agreed
+	// clockwise direction) from the agent's initial position to the initial
+	// position of the agent at ring distance t from it.
+	Positions []int64
+	// RoundsCoordination and RoundsDiscovery split the cost.
+	RoundsCoordination int
+	RoundsDiscovery    int
+}
+
+// DiscoveryResult aggregates a location-discovery run.
+type DiscoveryResult struct {
+	Rounds   int
+	PerAgent []AgentDiscovery
+	// StartPositions are the agents' positions (ticks, by ring index) at the
+	// moment the discovery protocol started; the reported maps are relative
+	// to these.  They coincide with the initial positions unless other
+	// protocols ran on the network beforehand.
+	StartPositions []int64
+}
+
+// DiscoverLocations solves location discovery with the appropriate algorithm
+// for the network's model and parity (Lemma 16 or Theorem 42) and verifies
+// every agent's answer against the simulator's ground truth.
+func (n *Network) DiscoverLocations(opts DiscoveryOptions) (*DiscoveryResult, error) {
+	start := n.nw.CurrentPositions()
+	outputs, rounds, err := Run(n, func(a *Agent) (*discovery.Result, error) {
+		return discovery.LocationDiscovery(a, discovery.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DiscoveryResult{Rounds: rounds, PerAgent: make([]AgentDiscovery, len(outputs)), StartPositions: start}
+	for i, r := range outputs {
+		res.PerAgent[i] = AgentDiscovery{
+			ID:                 n.nw.IDOf(i),
+			IsLeader:           r.IsLeader,
+			N:                  r.N,
+			Positions:          r.Positions,
+			RoundsCoordination: r.RoundsCoordination,
+			RoundsDiscovery:    r.RoundsDiscovery,
+		}
+	}
+	if err := n.VerifyDiscovery(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// VerifyDiscovery checks a discovery result against the simulator's ground
+// truth: every agent must report the true relative positions of all agents
+// (as of the start of the discovery run), in one consistent orientation.
+func (n *Network) VerifyDiscovery(res *DiscoveryResult) error {
+	pos := res.StartPositions
+	if pos == nil {
+		pos = n.nw.InitialPositions()
+	}
+	circ := n.nw.Circ()
+	count := n.N()
+	for i, agent := range res.PerAgent {
+		if agent.N != count {
+			return fmt.Errorf("%w: agent %d discovered n=%d, want %d", ErrVerification, i, agent.N, count)
+		}
+		if len(agent.Positions) != count {
+			return fmt.Errorf("%w: agent %d reported %d positions", ErrVerification, i, len(agent.Positions))
+		}
+		cwOK, ccwOK := true, true
+		for d := 0; d < count; d++ {
+			cw := 2 * (((pos[(i+d)%count]-pos[i])%circ + circ) % circ)
+			ccw := 2 * (((pos[i]-pos[((i-d)%count+count)%count])%circ + circ) % circ)
+			if agent.Positions[d] != cw {
+				cwOK = false
+			}
+			if agent.Positions[d] != ccw {
+				ccwOK = false
+			}
+		}
+		if !cwOK && !ccwOK {
+			return fmt.Errorf("%w: agent %d reported wrong positions", ErrVerification, i)
+		}
+	}
+	return nil
+}
+
+// LocationDiscoveryLowerBound returns the Lemma 6 lower bound on rounds for
+// location discovery in the given model.
+func LocationDiscoveryLowerBound(model Model, n int) int {
+	return discovery.LowerBoundRounds(model, n)
+}

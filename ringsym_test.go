@@ -1,0 +1,176 @@
+package ringsym_test
+
+import (
+	"errors"
+	"testing"
+
+	"ringsym"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	_, err := ringsym.NewNetwork(ringsym.Config{
+		Model:         ringsym.Basic,
+		Circumference: 1000,
+		Positions:     []int64{0, 100},
+		IDs:           []int{1, 2},
+		IDBound:       4,
+	})
+	if err == nil {
+		t.Fatal("n <= 4 accepted")
+	}
+	nw, err := ringsym.NewNetwork(ringsym.Config{
+		Model:         ringsym.Lazy,
+		Circumference: 1000,
+		Positions:     []int64{0, 100, 300, 500, 800},
+		IDs:           []int{5, 3, 9, 1, 7},
+		IDBound:       16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 5 || nw.Model() != ringsym.Lazy || nw.IDOf(2) != 9 {
+		t.Error("accessors wrong")
+	}
+	if len(nw.InitialPositions()) != 5 || len(nw.CurrentPositions()) != 5 {
+		t.Error("position accessors wrong")
+	}
+}
+
+func TestRandomNetworkAndCoordinate(t *testing.T) {
+	for _, model := range []ringsym.Model{ringsym.Basic, ringsym.Lazy, ringsym.Perceptive} {
+		for _, n := range []int{7, 8} {
+			if model == ringsym.Basic && n%2 == 0 {
+				// Coordination is still solvable (location discovery is not);
+				// include it to cover the Theorem 27 path.
+				_ = n
+			}
+			nw, err := ringsym.RandomNetwork(ringsym.RandomConfig{
+				N: n, Model: model, MixedChirality: true, Seed: int64(n),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := nw.Coordinate(ringsym.CoordinationOptions{Seed: 9})
+			if err != nil {
+				t.Fatalf("model=%v n=%d: %v", model, n, err)
+			}
+			if res.LeaderID == 0 || res.Rounds <= 0 || len(res.PerAgent) != n {
+				t.Fatalf("model=%v n=%d: malformed result %+v", model, n, res)
+			}
+			leaders := 0
+			for _, a := range res.PerAgent {
+				if a.IsLeader {
+					leaders++
+					if a.ID != res.LeaderID {
+						t.Error("LeaderID mismatch")
+					}
+				}
+			}
+			if leaders != 1 {
+				t.Fatalf("model=%v n=%d: %d leaders", model, n, leaders)
+			}
+		}
+	}
+}
+
+func TestDiscoverLocationsFacade(t *testing.T) {
+	cases := []struct {
+		model ringsym.Model
+		n     int
+	}{
+		{ringsym.Lazy, 8},
+		{ringsym.Basic, 9},
+		{ringsym.Perceptive, 8},
+	}
+	for _, tc := range cases {
+		nw, err := ringsym.RandomNetwork(ringsym.RandomConfig{
+			N: tc.n, Model: tc.model, MixedChirality: true, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.DiscoverLocations(ringsym.DiscoveryOptions{Seed: 2})
+		if err != nil {
+			t.Fatalf("model=%v: %v", tc.model, err)
+		}
+		if len(res.PerAgent) != tc.n {
+			t.Fatalf("model=%v: %d agents in result", tc.model, len(res.PerAgent))
+		}
+		for _, a := range res.PerAgent {
+			if a.N != tc.n || len(a.Positions) != tc.n {
+				t.Fatalf("model=%v: malformed agent outcome %+v", tc.model, a)
+			}
+		}
+		// VerifyDiscovery already ran inside DiscoverLocations; run it again
+		// explicitly to cover the exported path.
+		if err := nw.VerifyDiscovery(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDiscoverLocationsImpossibleCase(t *testing.T) {
+	nw, err := ringsym.RandomNetwork(ringsym.RandomConfig{N: 8, Model: ringsym.Basic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.DiscoverLocations(ringsym.DiscoveryOptions{}); err == nil {
+		t.Fatal("basic model with even n should be unsolvable (Lemma 5)")
+	}
+}
+
+func TestRunCustomProtocol(t *testing.T) {
+	nw, err := ringsym.RandomNetwork(ringsym.RandomConfig{N: 6, Model: ringsym.Perceptive, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, rounds, err := ringsym.Run(nw, func(a *ringsym.Agent) (int64, error) {
+		obs, err := a.Round(ringsym.Clockwise)
+		if err != nil {
+			return 0, err
+		}
+		return obs.Dist, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 1 || len(outs) != 6 {
+		t.Fatalf("rounds=%d outs=%d", rounds, len(outs))
+	}
+}
+
+func TestVerificationFailureDetected(t *testing.T) {
+	nw, err := ringsym.RandomNetwork(ringsym.RandomConfig{N: 8, Model: ringsym.Lazy, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.DiscoverLocations(ringsym.DiscoveryOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one agent's answer: verification must notice.
+	res.PerAgent[0].Positions[1] += 2
+	if err := nw.VerifyDiscovery(res); !errors.Is(err, ringsym.ErrVerification) {
+		t.Fatalf("got %v, want ErrVerification", err)
+	}
+	res.PerAgent[0].Positions[1] -= 2
+	res.PerAgent[0].N = 3
+	if err := nw.VerifyDiscovery(res); !errors.Is(err, ringsym.ErrVerification) {
+		t.Fatalf("got %v, want ErrVerification", err)
+	}
+}
+
+func TestLowerBoundHelper(t *testing.T) {
+	if ringsym.LocationDiscoveryLowerBound(ringsym.Lazy, 10) != 9 {
+		t.Error("lazy lower bound wrong")
+	}
+	if ringsym.LocationDiscoveryLowerBound(ringsym.Perceptive, 10) != 5 {
+		t.Error("perceptive lower bound wrong")
+	}
+}
+
+func TestRandomNetworkValidation(t *testing.T) {
+	if _, err := ringsym.RandomNetwork(ringsym.RandomConfig{N: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
