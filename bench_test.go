@@ -1,9 +1,11 @@
 package ringsym_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"ringsym/internal/campaign"
 	"ringsym/internal/core"
 	"ringsym/internal/engine"
 	"ringsym/internal/eval"
@@ -268,6 +270,34 @@ func BenchmarkAblationNontrivialDetection(b *testing.B) {
 	}
 	b.Run("weak", func(b *testing.B) { run(b, true) })
 	b.Run("strong", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkCampaignThroughput measures the scenario throughput of the
+// campaign runner (scenarios/sec) on a fixed sweep spanning all models, both
+// parities and both chirality regimes, once sequentially (one worker) and
+// once on the full GOMAXPROCS pool; the parallel variant demonstrates the
+// multi-core speedup of the worker pool over sequential execution.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	scenarios, err := campaign.Matrix{Sizes: []int{8, 12}, Seeds: []int64{1, 2, 3}}.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			recs, err := campaign.RunAll(context.Background(), scenarios, campaign.Options{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, rec := range recs {
+				if rec.Status == campaign.StatusFailed {
+					b.Fatalf("%s: %s", rec.Key(), rec.Error)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(len(scenarios))/b.Elapsed().Seconds(), "scenarios/sec")
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkEngineRound measures the raw cost of a single synchronised round

@@ -5,15 +5,20 @@
 //
 // Usage:
 //
-//	benchtables [-tables] [-figures] [-distinguishers] [-sizes 16,32,64,128] [-seed 1]
+//	benchtables [-tables] [-figures] [-distinguishers] [-sizes 16,32,64,128] [-seed 1] [-json BENCH_tables.json]
 //
-// With no selection flags everything is printed.
+// With no selection flags everything is printed.  When the tables are
+// generated, the per-cell measurements (setting, observed rounds, theoretical
+// bound) are additionally written as machine-readable JSON so that successive
+// runs can be compared automatically; -json ” disables the file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -31,6 +36,7 @@ func main() {
 	sizes := flag.String("sizes", "16,32,64,128", "comma-separated network sizes n")
 	seed := flag.Int64("seed", 1, "seed for configurations and pseudo-random schedules")
 	idFactor := flag.Int("idfactor", 4, "identifier bound N as a multiple of n")
+	jsonPath := flag.String("json", "BENCH_tables.json", "write the table measurements as JSON to this file ('' disables)")
 	flag.Parse()
 
 	if !*tables && !*figures && !*distinguishers {
@@ -43,16 +49,21 @@ func main() {
 	cfg := eval.SweepConfig{Sizes: ns, IDBoundFactor: *idFactor, Seed: *seed}
 
 	if *tables {
-		rows, err := eval.TableRows(eval.Table1Settings(), cfg)
+		rows1, err := eval.TableRows(eval.Table1Settings(), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(eval.Format("Table I - deterministic solutions in the general setting", rows))
-		rows, err = eval.TableRows(eval.Table2Settings(), cfg)
+		fmt.Println(eval.Format("Table I - deterministic solutions in the general setting", rows1))
+		rows2, err := eval.TableRows(eval.Table2Settings(), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(eval.Format("Table II - deterministic solutions with a common sense of direction", rows))
+		fmt.Println(eval.Format("Table II - deterministic solutions with a common sense of direction", rows2))
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows1, rows2); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	if *figures {
 		n := ns[len(ns)/2]
@@ -80,6 +91,53 @@ func main() {
 		}
 		fmt.Println(eval.FormatDistinguishers(samples))
 	}
+}
+
+// tableEntry is one measured cell in the machine-readable export.
+type tableEntry struct {
+	Table       string  `json:"table"`
+	Setting     string  `json:"setting"`
+	Model       string  `json:"model"`
+	OddN        bool    `json:"odd_n"`
+	CommonSense bool    `json:"common_sense"`
+	Problem     string  `json:"problem"`
+	N           int     `json:"n"`
+	IDBound     int     `json:"id_bound"`
+	Rounds      int     `json:"rounds"`
+	Bound       float64 `json:"bound"`
+	BoundStr    string  `json:"bound_str"`
+	Solvable    bool    `json:"solvable"`
+}
+
+// writeJSON exports the Table I/II measurements for trend tracking across
+// runs and revisions.
+func writeJSON(path string, rows1, rows2 []eval.Measurement) error {
+	var entries []tableEntry
+	add := func(table string, rows []eval.Measurement) {
+		for _, m := range rows {
+			entries = append(entries, tableEntry{
+				Table:       table,
+				Setting:     m.Setting.Name,
+				Model:       m.Setting.Model.String(),
+				OddN:        m.Setting.OddN,
+				CommonSense: m.Setting.CommonSense,
+				Problem:     string(m.Problem),
+				N:           m.N,
+				IDBound:     m.IDBound,
+				Rounds:      m.Rounds,
+				Bound:       m.Bound,
+				BoundStr:    m.BoundStr,
+				Solvable:    m.Solvable,
+			})
+		}
+	}
+	add("I", rows1)
+	add("II", rows2)
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,254 @@
+// Command ringfarm runs large parallel campaigns of ring-network scenarios:
+// it expands a declarative scenario matrix (from flags or a JSON spec file),
+// executes it on a worker pool sized to the machine, and writes three
+// artefacts — a per-scenario JSONL record stream, a per-setting CSV summary
+// and a Markdown summary — all byte-identical across repeated runs of the
+// same spec.  A campaign can be split across invocations (or machines) with
+// -shard i/m; the shards are contiguous, so concatenating the JSONL exports
+// of shards 0..m-1 reproduces the unsharded export exactly.
+//
+// Usage:
+//
+//	ringfarm -sizes 8,16,32 -seeds 1:5 -out sweep/
+//	ringfarm -models perceptive -tasks discover -sizes 64 -seeds 1:100
+//	ringfarm -spec sweep.json -shard 0/4 -out sweep-shard0/
+//	ringfarm -sizes 16 -dryrun          # list the scenarios and exit
+//
+// A spec file is the JSON form of the matrix, e.g.:
+//
+//	{"models": ["basic", "lazy"], "sizes": [16, 32], "seeds": [1, 2, 3],
+//	 "parities": ["odd", "even"], "chirality": ["mixed", "common"],
+//	 "common_sense": [false, true], "tasks": ["coordinate", "discover"]}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ringsym/internal/campaign"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ringfarm: ")
+
+	spec := flag.String("spec", "", "JSON sweep-spec file (overrides the matrix flags)")
+	tasks := flag.String("tasks", "", "comma-separated tasks: coordinate,discover (default both)")
+	models := flag.String("models", "", "comma-separated models: basic,lazy,perceptive (default all)")
+	parities := flag.String("parities", "", "comma-separated parities: odd,even (default both)")
+	chirality := flag.String("chirality", "", "comma-separated chirality regimes: mixed,common (default both)")
+	commonSense := flag.String("commonsense", "", "comma-separated common-sense flags: false,true (default false)")
+	sizes := flag.String("sizes", "", "comma-separated network sizes n (default 16,32)")
+	seeds := flag.String("seeds", "", "seeds, as a list 1,2,3 or a range 1:100 (default 1)")
+	idFactor := flag.Int("idfactor", 0, "identifier bound N as a multiple of n (default 4)")
+	shard := flag.String("shard", "", "run only shard i/m of the campaign (e.g. 0/4)")
+	workers := flag.Int("workers", 0, "worker-pool size (default GOMAXPROCS)")
+	out := flag.String("out", "ringfarm-out", "output directory for records.jsonl, summary.csv, summary.md")
+	dryrun := flag.Bool("dryrun", false, "print the scenario list and exit without running")
+	quiet := flag.Bool("quiet", false, "suppress the live progress line on stderr")
+	flag.Parse()
+
+	matrix, err := buildMatrix(*spec, *tasks, *models, *parities, *chirality, *commonSense, *sizes, *seeds, *idFactor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenarios, err := matrix.Expand()
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := len(scenarios)
+	i, m, err := campaign.ParseShard(*shard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenarios, err = campaign.Shard(scenarios, i, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dryrun {
+		for _, sc := range scenarios {
+			fmt.Printf("%6d  %s\n", sc.Index, sc.Key())
+		}
+		fmt.Printf("%d scenarios (shard %d/%d of %d)\n", len(scenarios), i, m, total)
+		return
+	}
+	if err := runCampaign(scenarios, i, m, total, *workers, *out, *quiet); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers int, outDir string, quiet bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	jsonlF, err := os.Create(filepath.Join(outDir, "records.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer jsonlF.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "ringfarm: running %d scenarios (shard %d/%d of %d) on %d workers\n",
+		len(scenarios), shardI, shardM, total, effectiveWorkers(workers, len(scenarios)))
+	writer := campaign.NewOrderedWriter(jsonlF, scenarios)
+	agg := campaign.NewAggregator()
+	start := time.Now()
+	lastProgress := time.Time{}
+	for rec := range campaign.Run(ctx, scenarios, campaign.Options{Workers: workers}) {
+		if err := writer.Add(rec); err != nil {
+			return err
+		}
+		agg.Add(rec)
+		if !quiet && time.Since(lastProgress) > 100*time.Millisecond {
+			lastProgress = time.Now()
+			fmt.Fprintf(os.Stderr, "\rringfarm: %d/%d done  ok=%d failed=%d unsolvable=%d  %.1f scen/s ",
+				agg.Total, len(scenarios), agg.OK, agg.Failed, agg.Unsolvable,
+				float64(agg.Total)/time.Since(start).Seconds())
+		}
+	}
+	if !quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err := writer.Flush(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("campaign interrupted after %d of %d scenarios", agg.Total, len(scenarios))
+	}
+
+	rows := agg.Summary()
+	csvF, err := os.Create(filepath.Join(outDir, "summary.csv"))
+	if err != nil {
+		return err
+	}
+	defer csvF.Close()
+	if err := campaign.WriteSummaryCSV(csvF, rows); err != nil {
+		return err
+	}
+	md := campaign.FormatSummaryMarkdown(rows)
+	if err := os.WriteFile(filepath.Join(outDir, "summary.md"), []byte(md), 0o644); err != nil {
+		return err
+	}
+
+	elapsed := time.Since(start)
+	fmt.Printf("%s\n", md)
+	fmt.Printf("%d scenarios in %v (%.1f scenarios/sec, %v cpu): ok=%d failed=%d unsolvable=%d\n",
+		agg.Total, elapsed.Round(time.Millisecond),
+		float64(agg.Total)/elapsed.Seconds(), agg.Wall.Round(time.Millisecond),
+		agg.OK, agg.Failed, agg.Unsolvable)
+	fmt.Printf("artefacts: %s\n", outDir)
+	if agg.Failed > 0 {
+		return fmt.Errorf("%d scenarios failed (see %s)", agg.Failed, filepath.Join(outDir, "records.jsonl"))
+	}
+	return nil
+}
+
+// effectiveWorkers mirrors the pool sizing of campaign.Run: GOMAXPROCS by
+// default, never more workers than scenarios.
+func effectiveWorkers(w, scenarios int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > scenarios && scenarios > 0 {
+		w = scenarios
+	}
+	return w
+}
+
+// buildMatrix assembles the campaign matrix from a spec file or flags.
+func buildMatrix(spec, tasks, models, parities, chirality, commonSense, sizes, seeds string, idFactor int) (campaign.Matrix, error) {
+	var m campaign.Matrix
+	if spec != "" {
+		raw, err := os.ReadFile(spec)
+		if err != nil {
+			return m, err
+		}
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&m); err != nil {
+			return m, fmt.Errorf("spec %s: %w", spec, err)
+		}
+		return m, nil
+	}
+	for _, t := range splitList(tasks) {
+		m.Tasks = append(m.Tasks, campaign.Task(t))
+	}
+	m.Models = splitList(models)
+	m.Parities = splitList(parities)
+	m.Chirality = splitList(chirality)
+	for _, s := range splitList(commonSense) {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return m, fmt.Errorf("invalid -commonsense value %q", s)
+		}
+		m.CommonSense = append(m.CommonSense, v)
+	}
+	for _, s := range splitList(sizes) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return m, fmt.Errorf("invalid size %q", s)
+		}
+		m.Sizes = append(m.Sizes, v)
+	}
+	var err error
+	m.Seeds, err = parseSeeds(seeds)
+	if err != nil {
+		return m, err
+	}
+	m.IDBoundFactor = idFactor
+	return m, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseSeeds accepts "1,2,3" or an inclusive range "1:100".
+func parseSeeds(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if lo, hi, ok := strings.Cut(s, ":"); ok {
+		from, err1 := strconv.ParseInt(lo, 10, 64)
+		to, err2 := strconv.ParseInt(hi, 10, 64)
+		if err1 != nil || err2 != nil || to < from {
+			return nil, fmt.Errorf("invalid seed range %q (want from:to)", s)
+		}
+		out := make([]int64, 0, to-from+1)
+		for v := from; v <= to; v++ {
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	var out []int64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid seed %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module ringsym
+
+go 1.24

@@ -1,0 +1,254 @@
+// Package campaign executes large declarative sweeps of ring-network
+// scenarios in parallel.  A Matrix declares axes (tasks, movement models,
+// parities, chirality regimes, common-sense flags, network sizes, seeds) and
+// expands into a deterministic, shardable list of Scenario specs; Run
+// executes the scenarios on a worker pool sized to the machine, isolating
+// panics so one bad scenario cannot kill a sweep, and streams one Record per
+// scenario; Aggregator folds the record stream into per-setting statistics
+// (count/min/max/mean/exact percentiles, observed-vs-bound ratios) without
+// retaining the records in memory.
+//
+// The package is the substrate of cmd/ringfarm and of the Table I/II
+// generation in internal/eval.  All results are deterministic for a fixed
+// spec: a record depends only on its scenario (network generation and the
+// pseudo-random protocol schedules are seeded), so the exported JSONL and
+// summary artefacts are byte-identical across repeated runs and across any
+// union of shards covering the same matrix.
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"ringsym/internal/ring"
+)
+
+// Task selects which protocol pipeline a scenario runs.
+type Task string
+
+// Tasks runnable by the campaign runner.
+const (
+	// TaskCoordinate runs the coordination pipeline of the paper (nontrivial
+	// move, direction agreement, leader election).
+	TaskCoordinate Task = "coordinate"
+	// TaskDiscover runs full location discovery (which includes
+	// coordination).
+	TaskDiscover Task = "discover"
+)
+
+// Parity axis values.
+const (
+	ParityOdd  = "odd"
+	ParityEven = "even"
+)
+
+// Chirality axis values.
+const (
+	ChiralityMixed  = "mixed"
+	ChiralityCommon = "common"
+)
+
+// Scenario is one fully specified experiment: every field is explicit, so a
+// scenario is reproducible in isolation and a record is a pure function of
+// its scenario.
+type Scenario struct {
+	// Index is the scenario's position in the expanded matrix; it is the sort
+	// key of all exported artefacts and the basis of sharding.
+	Index int `json:"index"`
+	// Task is the protocol pipeline to run.
+	Task Task `json:"task"`
+	// Model is the movement model name (basic, lazy or perceptive).
+	Model string `json:"model"`
+	// N is the number of agents (already parity-adjusted).
+	N int `json:"n"`
+	// IDBound is the public bound N of the paper on identifiers.
+	IDBound int `json:"id_bound"`
+	// MixedChirality gives agents adversarially mixed senses of direction.
+	MixedChirality bool `json:"mixed_chirality"`
+	// CommonSense promises an a-priori common sense of direction (only valid
+	// with common chirality).
+	CommonSense bool `json:"common_sense"`
+	// Seed drives the network generation and the pseudo-random schedules.
+	Seed int64 `json:"seed"`
+}
+
+// Key returns a compact human-readable label for the scenario.
+func (s Scenario) Key() string {
+	chir := ChiralityCommon
+	if s.MixedChirality {
+		chir = ChiralityMixed
+	}
+	cs := ""
+	if s.CommonSense {
+		cs = " cs"
+	}
+	return fmt.Sprintf("%s/%s/n=%d/%s%s/seed=%d", s.Task, s.Model, s.N, chir, cs, s.Seed)
+}
+
+// Matrix declares a scenario sweep as a cross-product of axes.  Zero-valued
+// axes default to full coverage (all tasks, all models, both parities, both
+// chirality regimes, no common sense) so an empty matrix is already a
+// meaningful smoke sweep.  The struct is the JSON sweep-spec format of
+// cmd/ringfarm.
+type Matrix struct {
+	// Tasks to run; defaults to coordinate and discover.
+	Tasks []Task `json:"tasks,omitempty"`
+	// Models are movement-model names; defaults to basic, lazy, perceptive.
+	Models []string `json:"models,omitempty"`
+	// Parities are "odd" and/or "even"; defaults to both.  Sizes are nudged
+	// up by one when their parity does not match.
+	Parities []string `json:"parities,omitempty"`
+	// Chirality regimes are "mixed" and/or "common"; defaults to both.
+	Chirality []string `json:"chirality,omitempty"`
+	// CommonSense flags; defaults to {false}.  true is only expanded against
+	// common chirality (the promise would be violated in mixed rings).
+	CommonSense []bool `json:"common_sense,omitempty"`
+	// Sizes are the requested network sizes n (>= 5 after parity
+	// adjustment); defaults to {16, 32}.
+	Sizes []int `json:"sizes,omitempty"`
+	// Seeds for network generation and schedules; defaults to {1}.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// IDBoundFactor sets the identifier bound N = IDBoundFactor·n;
+	// defaults to 4.
+	IDBoundFactor int `json:"id_bound_factor,omitempty"`
+}
+
+func (m Matrix) filled() Matrix {
+	if len(m.Tasks) == 0 {
+		m.Tasks = []Task{TaskCoordinate, TaskDiscover}
+	}
+	if len(m.Models) == 0 {
+		m.Models = []string{"basic", "lazy", "perceptive"}
+	}
+	if len(m.Parities) == 0 {
+		m.Parities = []string{ParityOdd, ParityEven}
+	}
+	if len(m.Chirality) == 0 {
+		m.Chirality = []string{ChiralityMixed, ChiralityCommon}
+	}
+	if len(m.CommonSense) == 0 {
+		m.CommonSense = []bool{false}
+	}
+	if len(m.Sizes) == 0 {
+		m.Sizes = []int{16, 32}
+	}
+	if len(m.Seeds) == 0 {
+		m.Seeds = []int64{1}
+	}
+	if m.IDBoundFactor <= 0 {
+		m.IDBoundFactor = 4
+	}
+	return m
+}
+
+// ParseModel maps a movement-model name to its ring.Model.
+func ParseModel(name string) (ring.Model, error) {
+	switch strings.ToLower(name) {
+	case "basic":
+		return ring.Basic, nil
+	case "lazy":
+		return ring.Lazy, nil
+	case "perceptive":
+		return ring.Perceptive, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown model %q", name)
+}
+
+// AdjustParity nudges n up by one when its parity does not match.
+func AdjustParity(n int, odd bool) int {
+	if odd == (n%2 == 1) {
+		return n
+	}
+	return n + 1
+}
+
+// Expand enumerates the cross-product of the matrix axes in a fixed nesting
+// order (task, model, parity, chirality, common sense, size, seed) and
+// returns the scenario list with indices assigned in that order.  The
+// contradictory combination common-sense × mixed chirality is skipped.
+// Expansion is deterministic: the same matrix always yields the same list.
+func (m Matrix) Expand() ([]Scenario, error) {
+	f := m.filled()
+	for _, model := range f.Models {
+		if _, err := ParseModel(model); err != nil {
+			return nil, err
+		}
+	}
+	tasks := make([]Task, len(f.Tasks))
+	for i, t := range f.Tasks {
+		tasks[i] = Task(strings.ToLower(string(t)))
+		if tasks[i] != TaskCoordinate && tasks[i] != TaskDiscover {
+			return nil, fmt.Errorf("campaign: unknown task %q", t)
+		}
+	}
+	f.Tasks = tasks
+	var out []Scenario
+	for _, task := range f.Tasks {
+		for _, model := range f.Models {
+			for _, parity := range f.Parities {
+				odd := parity == ParityOdd
+				if !odd && parity != ParityEven {
+					return nil, fmt.Errorf("campaign: unknown parity %q", parity)
+				}
+				for _, chir := range f.Chirality {
+					mixed := chir == ChiralityMixed
+					if !mixed && chir != ChiralityCommon {
+						return nil, fmt.Errorf("campaign: unknown chirality %q", chir)
+					}
+					for _, cs := range f.CommonSense {
+						if cs && mixed {
+							continue
+						}
+						for _, size := range f.Sizes {
+							n := AdjustParity(size, odd)
+							if n < 5 {
+								return nil, fmt.Errorf("campaign: size %d too small (the paper needs n > 4)", size)
+							}
+							for _, seed := range f.Seeds {
+								out = append(out, Scenario{
+									Index:          len(out),
+									Task:           task,
+									Model:          strings.ToLower(model),
+									N:              n,
+									IDBound:        f.IDBoundFactor * n,
+									MixedChirality: mixed,
+									CommonSense:    cs,
+									Seed:           seed,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Shard returns the i-th of m contiguous blocks of the scenario list
+// (0 <= i < m).  Blocks are disjoint, their union is the whole list, and —
+// because they are contiguous — concatenating the JSONL exports of shards
+// 0..m-1 reproduces the unsharded export byte for byte.
+func Shard(scenarios []Scenario, i, m int) ([]Scenario, error) {
+	if m < 1 || i < 0 || i >= m {
+		return nil, fmt.Errorf("campaign: invalid shard %d/%d", i, m)
+	}
+	l := len(scenarios)
+	lo := i * l / m
+	hi := (i + 1) * l / m
+	return scenarios[lo:hi], nil
+}
+
+// ParseShard parses an "i/m" shard designator.
+func ParseShard(s string) (i, m int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &m); err != nil {
+		return 0, 0, fmt.Errorf("campaign: invalid shard %q (want i/m)", s)
+	}
+	if m < 1 || i < 0 || i >= m {
+		return 0, 0, fmt.Errorf("campaign: invalid shard %q (need 0 <= i < m)", s)
+	}
+	return i, m, nil
+}

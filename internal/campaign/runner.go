@@ -1,0 +1,239 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ringsym"
+	"ringsym/internal/netgen"
+)
+
+// Status classifies how a scenario run ended.
+type Status string
+
+// Record statuses.
+const (
+	// StatusOK: the protocol ran to completion and verified against the
+	// simulator's ground truth.
+	StatusOK Status = "ok"
+	// StatusFailed: the protocol errored, verification failed, or the worker
+	// recovered a panic; Error holds the cause.
+	StatusFailed Status = "failed"
+	// StatusUnsolvable: the problem is impossible in the setting (Lemma 5);
+	// the scenario is recorded but nothing ran.
+	StatusUnsolvable Status = "unsolvable"
+)
+
+// Record is the outcome of one scenario.  Everything exported to JSONL is a
+// pure function of the scenario, so exports are byte-stable; the wall-clock
+// time is deliberately excluded from serialisation and only feeds the
+// in-memory aggregation.
+type Record struct {
+	Scenario
+	Status Status `json:"status"`
+	// Error is the failure cause when Status is "failed".
+	Error string `json:"error,omitempty"`
+	// Verified reports that the outcome was checked against the simulator's
+	// ground truth (exactly one leader; correct position maps).
+	Verified bool `json:"verified"`
+	// Rounds is the total round cost of the task.
+	Rounds int `json:"rounds"`
+	// Per-stage round splits (coordination stages for coordinate, the
+	// coordination/discovery split for discover), from agent 0.
+	RoundsNontrivial   int `json:"rounds_nontrivial,omitempty"`
+	RoundsAgreement    int `json:"rounds_agreement,omitempty"`
+	RoundsLeader       int `json:"rounds_leader,omitempty"`
+	RoundsCoordination int `json:"rounds_coordination,omitempty"`
+	RoundsDiscovery    int `json:"rounds_discovery,omitempty"`
+	// LeaderID is the identifier of the elected leader.
+	LeaderID int `json:"leader_id,omitempty"`
+	// Bound and BoundStr give the paper's bound for the task's total cost.
+	Bound    float64 `json:"bound"`
+	BoundStr string  `json:"bound_str"`
+	// Wall is the measured wall-clock cost of the scenario.  Excluded from
+	// JSON so that exports stay deterministic.
+	Wall time.Duration `json:"-"`
+}
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers is the worker-pool size; defaults to GOMAXPROCS.
+	Workers int
+	// Circ is the ring circumference in ticks; 0 uses the netgen default.
+	Circ int64
+	// MaxRounds aborts runaway protocols; 0 uses the engine default.
+	MaxRounds int
+}
+
+// testHookScenario, when set, runs inside the worker just before a scenario
+// executes; tests use it to inject panics.
+var testHookScenario func(Scenario)
+
+// Run executes the scenarios on a pool of workers and streams one Record per
+// scenario on the returned channel, in completion order.  The channel is
+// closed when all scenarios finished or the context was cancelled (in which
+// case records for not-yet-started scenarios are never emitted).  A panic
+// inside one scenario is isolated: it becomes a failed record and the sweep
+// continues.
+func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) && len(scenarios) > 0 {
+		workers = len(scenarios)
+	}
+	out := make(chan Record)
+	feed := make(chan Scenario)
+	go func() {
+		defer close(feed)
+		for _, sc := range scenarios {
+			select {
+			case feed <- sc:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for sc := range feed {
+				rec := RunScenario(sc, opts)
+				select {
+				case out <- rec:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// RunAll runs the scenarios and returns all records sorted by scenario
+// index.  It returns the context error when the run was cut short.
+func RunAll(ctx context.Context, scenarios []Scenario, opts Options) ([]Record, error) {
+	recs := make([]Record, 0, len(scenarios))
+	for rec := range Run(ctx, scenarios, opts) {
+		recs = append(recs, rec)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Index < recs[j].Index })
+	return recs, nil
+}
+
+// RunScenario executes a single scenario synchronously: it generates the
+// network with netgen and drives it through the public ringsym facade, which
+// verifies outcomes against the simulator's ground truth.  Panics anywhere in
+// generation or protocol execution are recovered into a failed record.
+func RunScenario(sc Scenario, opts Options) (rec Record) {
+	start := time.Now()
+	rec = Record{Scenario: sc}
+	defer func() {
+		if r := recover(); r != nil {
+			rec = Record{Scenario: sc, Status: StatusFailed, Error: fmt.Sprintf("panic: %v", r)}
+			model, err := ParseModel(sc.Model)
+			if err == nil {
+				rec.Bound, rec.BoundStr = boundFor(sc, model)
+			}
+		}
+		rec.Wall = time.Since(start)
+	}()
+	if testHookScenario != nil {
+		testHookScenario(sc)
+	}
+
+	model, err := ParseModel(sc.Model)
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		return rec
+	}
+	rec.Bound, rec.BoundStr = boundFor(sc, model)
+	if sc.Task == TaskDiscover && !Solvable(model, sc.N%2 == 1, LocationDiscovery) {
+		rec.Status = StatusUnsolvable
+		return rec
+	}
+
+	gen, err := netgen.Generate(netgen.Options{
+		N:                   sc.N,
+		IDBound:             sc.IDBound,
+		Circ:                opts.Circ,
+		Model:               model,
+		MixedChirality:      sc.MixedChirality,
+		ForceSplitChirality: sc.MixedChirality,
+		Seed:                sc.Seed,
+		MaxRounds:           opts.MaxRounds,
+	})
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		return rec
+	}
+	nw, err := ringsym.NewNetwork(ringsym.Config{
+		Model:         gen.Model,
+		Circumference: gen.Circ,
+		Positions:     gen.Positions,
+		IDs:           gen.IDs,
+		IDBound:       gen.IDBound,
+		Chirality:     gen.Chirality,
+		MaxRounds:     gen.MaxRounds,
+	})
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		return rec
+	}
+
+	switch sc.Task {
+	case TaskCoordinate:
+		res, err := nw.Coordinate(ringsym.CoordinationOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
+		if err != nil {
+			rec.Status = StatusFailed
+			rec.Error = err.Error()
+			return rec
+		}
+		a := res.PerAgent[0]
+		rec.Rounds = res.Rounds
+		rec.RoundsNontrivial = a.RoundsNontrivial
+		rec.RoundsAgreement = a.RoundsAgreement
+		rec.RoundsLeader = a.RoundsLeader
+		rec.LeaderID = res.LeaderID
+	case TaskDiscover:
+		res, err := nw.DiscoverLocations(ringsym.DiscoveryOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
+		if err != nil {
+			rec.Status = StatusFailed
+			rec.Error = err.Error()
+			return rec
+		}
+		a := res.PerAgent[0]
+		rec.Rounds = res.Rounds
+		rec.RoundsCoordination = a.RoundsCoordination
+		rec.RoundsDiscovery = a.RoundsDiscovery
+		for _, pa := range res.PerAgent {
+			if pa.IsLeader {
+				rec.LeaderID = pa.ID
+			}
+		}
+	default:
+		rec.Status = StatusFailed
+		rec.Error = fmt.Sprintf("campaign: unknown task %q", sc.Task)
+		return rec
+	}
+	rec.Status = StatusOK
+	rec.Verified = true
+	return rec
+}

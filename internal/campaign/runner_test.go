@@ -1,0 +1,190 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallMatrix is a fast sweep touching all models, both parities and both
+// chirality regimes.
+func smallMatrix() Matrix {
+	return Matrix{Sizes: []int{8}, Seeds: []int64{1, 2}}
+}
+
+func stripWall(recs []Record) []Record {
+	out := append([]Record(nil), recs...)
+	for i := range out {
+		out[i].Wall = 0
+	}
+	return out
+}
+
+func TestRunSweepDeterministicAndVerified(t *testing.T) {
+	scs, err := smallMatrix().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunAll(context.Background(), scs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAll(context.Background(), scs, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(scs) {
+		t.Fatalf("got %d records for %d scenarios", len(a), len(scs))
+	}
+	if !bytes.Equal(mustJSONL(t, scs, a), mustJSONL(t, scs, b)) {
+		t.Fatal("records differ between runs with different worker counts")
+	}
+	for _, rec := range a {
+		switch rec.Status {
+		case StatusOK:
+			if !rec.Verified || rec.Rounds <= 0 {
+				t.Errorf("%s: ok record not verified or zero rounds: %+v", rec.Key(), rec)
+			}
+			if rec.BoundStr == "" || rec.Bound <= 0 {
+				t.Errorf("%s: missing bound", rec.Key())
+			}
+		case StatusUnsolvable:
+			if rec.Task != TaskDiscover || rec.Model != "basic" || rec.N%2 != 0 {
+				t.Errorf("%s: unexpected unsolvable record", rec.Key())
+			}
+		default:
+			t.Errorf("%s: status %s (%s)", rec.Key(), rec.Status, rec.Error)
+		}
+	}
+}
+
+func mustJSONL(t *testing.T, scs []Scenario, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewOrderedWriter(&buf, scs)
+	for _, rec := range recs {
+		if err := w.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWorkerPanicIsolated(t *testing.T) {
+	scs, err := Matrix{
+		Tasks:     []Task{TaskCoordinate},
+		Models:    []string{"lazy"},
+		Parities:  []string{ParityEven},
+		Chirality: []string{ChiralityMixed},
+		Sizes:     []int{8},
+		Seeds:     []int64{1, 2, 3, 4, 5, 6},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testHookScenario = func(sc Scenario) {
+		if sc.Seed == 3 {
+			panic("scenario exploded")
+		}
+	}
+	defer func() { testHookScenario = nil }()
+
+	recs, err := RunAll(context.Background(), scs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(scs) {
+		t.Fatalf("panic aborted the sweep: got %d of %d records", len(recs), len(scs))
+	}
+	failed := 0
+	for _, rec := range recs {
+		if rec.Seed == 3 {
+			failed++
+			if rec.Status != StatusFailed || !strings.Contains(rec.Error, "scenario exploded") {
+				t.Errorf("panicking scenario recorded as %s (%s)", rec.Status, rec.Error)
+			}
+		} else if rec.Status != StatusOK {
+			t.Errorf("%s: healthy scenario recorded as %s", rec.Key(), rec.Status)
+		}
+	}
+	if failed != 1 {
+		t.Errorf("got %d failed records, want 1", failed)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	scs, err := Matrix{Sizes: []int{8, 16, 32}, Seeds: []int64{1, 2, 3, 4}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := 0
+	for range Run(ctx, scs, Options{Workers: 2}) {
+		got++
+		if got == 3 {
+			cancel()
+		}
+	}
+	cancel()
+	if got >= len(scs) {
+		t.Fatalf("cancellation did not cut the sweep short (%d records)", got)
+	}
+	if _, err := RunAll(ctx, scs, Options{Workers: 2}); err == nil {
+		t.Error("RunAll on a cancelled context did not report the error")
+	}
+}
+
+func TestShardUnionReproducesFullExport(t *testing.T) {
+	scs, err := Matrix{
+		Tasks:  []Task{TaskCoordinate, TaskDiscover},
+		Models: []string{"perceptive", "lazy"},
+		Sizes:  []int{8},
+		Seeds:  []int64{1, 2},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunAll(context.Background(), scs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJSONL := mustJSONL(t, scs, full)
+
+	var union bytes.Buffer
+	const m = 3
+	for i := 0; i < m; i++ {
+		shard, err := Shard(scs, i, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := RunAll(context.Background(), shard, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union.Write(mustJSONL(t, shard, recs))
+	}
+	if !bytes.Equal(fullJSONL, union.Bytes()) {
+		t.Fatal("concatenated shard exports differ from the full export")
+	}
+	if !bytes.Contains(fullJSONL, []byte(`"status":"ok"`)) {
+		t.Fatalf("export looks wrong:\n%s", fullJSONL)
+	}
+	if bytes.Contains(fullJSONL, []byte("Wall")) {
+		t.Fatal("wall time leaked into the deterministic export")
+	}
+}
+
+func TestRunScenarioWallClock(t *testing.T) {
+	rec := RunScenario(Scenario{Task: TaskCoordinate, Model: "lazy", N: 8, IDBound: 32, MixedChirality: true, Seed: 1}, Options{})
+	if rec.Status != StatusOK {
+		t.Fatalf("status %s: %s", rec.Status, rec.Error)
+	}
+	if rec.Wall <= 0 || rec.Wall > time.Minute {
+		t.Errorf("implausible wall time %v", rec.Wall)
+	}
+}

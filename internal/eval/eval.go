@@ -12,28 +12,26 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math"
 	"strings"
 
-	"ringsym/internal/comb"
-	"ringsym/internal/core"
-	"ringsym/internal/discovery"
+	"ringsym/internal/campaign"
 	"ringsym/internal/engine"
 	"ringsym/internal/netgen"
-	"ringsym/internal/perceptive"
 	"ringsym/internal/ring"
 )
 
 // Problem identifies one of the paper's problems.
-type Problem string
+type Problem = campaign.Problem
 
 // Problems measured by the harness.
 const (
-	LeaderElection     Problem = "leader election"
-	NontrivialMove     Problem = "nontrivial move"
-	DirectionAgreement Problem = "direction agreement"
-	LocationDiscovery  Problem = "location discovery"
+	LeaderElection     = campaign.LeaderElection
+	NontrivialMove     = campaign.NontrivialMove
+	DirectionAgreement = campaign.DirectionAgreement
+	LocationDiscovery  = campaign.LocationDiscovery
 )
 
 // Setting identifies a row of Table I / Table II.
@@ -103,10 +101,7 @@ func (c *SweepConfig) fill() {
 
 // adjustParity nudges n to the parity required by the setting.
 func adjustParity(n int, odd bool) int {
-	if odd == (n%2 == 1) {
-		return n
-	}
-	return n + 1
+	return campaign.AdjustParity(n, odd)
 }
 
 // network builds the network for one sample of a setting.
@@ -125,156 +120,141 @@ func network(s Setting, n, idBound int, seed int64) (*engine.Network, error) {
 	return engine.New(cfg)
 }
 
-// MeasureCoordination measures, for one configuration, the from-scratch round
-// cost of the three coordination problems (each cost is the number of rounds
-// after which the corresponding problem is solved).
-func MeasureCoordination(s Setting, n, idBound int, seed int64) (nm, da, le int, err error) {
-	nw, err := network(s, n, idBound, seed)
-	if err != nil {
-		return 0, 0, 0, err
+// scenario translates a table setting into a campaign scenario spec.
+func scenario(s Setting, task campaign.Task, n, idBound int, seed int64) campaign.Scenario {
+	return campaign.Scenario{
+		Task:           task,
+		Model:          s.Model.String(),
+		N:              n,
+		IDBound:        idBound,
+		MixedChirality: !s.CommonSense,
+		CommonSense:    s.CommonSense,
+		Seed:           seed,
 	}
-	res, err := engine.Run(nw, func(a *engine.Agent) (*core.Coordination, error) {
-		if s.Model == ring.Perceptive && !s.CommonSense {
-			return perceptive.Coordinate(a, perceptive.Options{Seed: seed})
-		}
-		return core.Coordinate(a, core.Options{CommonSense: s.CommonSense, Seed: seed})
-	})
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	c := res.Outputs[0]
+}
+
+// coordinationSplit converts the raw per-stage rounds of a campaign record
+// into the from-scratch costs of the three coordination problems (each cost
+// is the number of rounds after which the corresponding problem is solved).
+func coordinationSplit(s Setting, rec campaign.Record) (nm, da, le int) {
 	if s.CommonSense {
 		// Direction agreement is given; leader election comes first and the
 		// nontrivial move is derived from the leader (Lemma 10).
-		le = c.RoundsLeader
-		nm = c.RoundsLeader + c.RoundsNontrivial
+		le = rec.RoundsLeader
+		nm = rec.RoundsLeader + rec.RoundsNontrivial
 		da = 0
-		return nm, da, le, nil
+		return nm, da, le
 	}
-	nm = c.RoundsNontrivial
-	da = c.RoundsNontrivial + c.RoundsAgreement
-	le = da + c.RoundsLeader
+	nm = rec.RoundsNontrivial
+	da = rec.RoundsNontrivial + rec.RoundsAgreement
+	le = da + rec.RoundsLeader
+	return nm, da, le
+}
+
+// recordErr converts a failed campaign record into an error.
+func recordErr(rec campaign.Record) error {
+	if rec.Status == campaign.StatusFailed {
+		return errors.New(rec.Error)
+	}
+	return nil
+}
+
+// MeasureCoordination measures, for one configuration, the from-scratch round
+// cost of the three coordination problems on a single scenario of the
+// campaign runner.
+func MeasureCoordination(s Setting, n, idBound int, seed int64) (nm, da, le int, err error) {
+	rec := campaign.RunScenario(scenario(s, campaign.TaskCoordinate, n, idBound, seed), campaign.Options{})
+	if err := recordErr(rec); err != nil {
+		return 0, 0, 0, err
+	}
+	nm, da, le = coordinationSplit(s, rec)
 	return nm, da, le, nil
 }
 
 // MeasureLocationDiscovery measures the total location-discovery cost and its
 // split into the o(n) coordination part and the main discovery part.  The
-// second return value is false when the problem is unsolvable in the setting
-// (Lemma 5).
+// solvable return value is false when the problem is unsolvable in the
+// setting (Lemma 5).
 func MeasureLocationDiscovery(s Setting, n, idBound int, seed int64) (total, coordination, main int, solvable bool, err error) {
-	if s.Model == ring.Basic && !s.OddN {
+	rec := campaign.RunScenario(scenario(s, campaign.TaskDiscover, n, idBound, seed), campaign.Options{})
+	if err := recordErr(rec); err != nil {
+		return 0, 0, 0, false, err
+	}
+	if rec.Status == campaign.StatusUnsolvable {
 		return 0, 0, 0, false, nil
 	}
-	nw, err := network(s, n, idBound, seed)
-	if err != nil {
-		return 0, 0, 0, false, err
-	}
-	res, err := engine.Run(nw, func(a *engine.Agent) (*discovery.Result, error) {
-		return discovery.LocationDiscovery(a, discovery.Options{CommonSense: s.CommonSense, Seed: seed})
-	})
-	if err != nil {
-		return 0, 0, 0, false, err
-	}
-	out := res.Outputs[0]
-	return res.Rounds, out.RoundsCoordination, out.RoundsDiscovery, true, nil
+	return rec.Rounds, rec.RoundsCoordination, rec.RoundsDiscovery, true, nil
 }
 
 // Bound returns the paper's asymptotic bound (as a plain formula without the
-// hidden constant) and its human-readable form for a cell.
+// hidden constant) and its human-readable form for a cell.  It delegates to
+// the campaign package, the single source of the theoretical columns.
 func Bound(s Setting, p Problem, n, idBound int) (float64, string) {
-	logN := comb.Log2(float64(idBound))
-	logNn := comb.Log2(float64(idBound) / float64(n))
-	logn := comb.Log2(float64(n))
-	sqrtn := math.Sqrt(float64(n))
-	fn := float64(n)
-
-	if s.CommonSense {
-		switch {
-		case p == LocationDiscovery && s.Model == ring.Basic && !s.OddN:
-			return 0, "not solvable"
-		case p == LocationDiscovery && s.Model == ring.Perceptive && !s.OddN:
-			return fn/2 + sqrtn*logN, "n/2 + O(sqrt(n) log N)"
-		case p == LocationDiscovery:
-			return fn + logN, "n + O(log N)"
-		case p == NontrivialMove && s.OddN:
-			return logNn, "Theta(log(N/n))"
-		case s.Model == ring.Basic && !s.OddN:
-			return logN * logN, "O(log^2 N)"
-		default:
-			return logN, "O(log N)"
-		}
-	}
-	switch s.Model {
-	case ring.Basic, ring.Lazy:
-		if s.OddN {
-			switch p {
-			case LeaderElection:
-				return logN, "O(log N)"
-			case NontrivialMove:
-				return logNn, "Theta(log(N/n))"
-			case DirectionAgreement:
-				return 1, "O(1)"
-			case LocationDiscovery:
-				return fn + logN, "n + O(log N)"
-			}
-		}
-		coord := fn * logNn / logn
-		if p == LocationDiscovery {
-			if s.Model == ring.Basic {
-				return 0, "not solvable"
-			}
-			return fn + coord, "n + Theta(n log(N/n)/log n)"
-		}
-		return coord, "Theta(n log(N/n)/log n)"
-	case ring.Perceptive:
-		if p == LocationDiscovery {
-			return fn/2 + sqrtn*logN*logN, "n/2 + O(sqrt(n) log^2 N)"
-		}
-		return sqrtn * logN, "O(sqrt(n) log N)"
-	}
-	return 0, "?"
+	return campaign.Bound(s.Model, s.OddN, s.CommonSense, p, n, idBound)
 }
 
-// TableRows measures every cell of the given settings for the sweep.
+// TableRows measures every cell of the given settings for the sweep.  It is
+// a thin pre-baked campaign: the settings expand into one coordinate and one
+// discover scenario per (setting, size) cell, run on the campaign worker
+// pool, and the records are folded back into table measurements.
 func TableRows(settings []Setting, cfg SweepConfig) ([]Measurement, error) {
 	cfg.fill()
-	var out []Measurement
+	type cell struct {
+		s Setting
+		n int
+	}
+	var cells []cell
+	var scenarios []campaign.Scenario
 	for _, s := range settings {
-		problems := []Problem{LeaderElection, NontrivialMove, DirectionAgreement, LocationDiscovery}
-		if s.CommonSense {
-			// Table II has no direction-agreement column: it is given.
-			problems = []Problem{LeaderElection, NontrivialMove, LocationDiscovery}
-		}
 		for _, rawN := range cfg.Sizes {
 			n := adjustParity(rawN, s.OddN)
 			idBound := cfg.IDBoundFactor * n
-			nm, da, le, err := MeasureCoordination(s, n, idBound, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s n=%d: %w", s.Name, n, err)
+			cells = append(cells, cell{s: s, n: n})
+			coord := scenario(s, campaign.TaskCoordinate, n, idBound, cfg.Seed)
+			coord.Index = len(scenarios)
+			scenarios = append(scenarios, coord)
+			disc := scenario(s, campaign.TaskDiscover, n, idBound, cfg.Seed)
+			disc.Index = len(scenarios)
+			scenarios = append(scenarios, disc)
+		}
+	}
+	recs, err := campaign.RunAll(context.Background(), scenarios, campaign.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("eval: campaign: %w", err)
+	}
+	var out []Measurement
+	for i, c := range cells {
+		coordRec, discRec := recs[2*i], recs[2*i+1]
+		if err := recordErr(coordRec); err != nil {
+			return nil, fmt.Errorf("eval: %s n=%d: %w", c.s.Name, c.n, err)
+		}
+		if err := recordErr(discRec); err != nil {
+			return nil, fmt.Errorf("eval: %s n=%d location discovery: %w", c.s.Name, c.n, err)
+		}
+		nm, da, le := coordinationSplit(c.s, coordRec)
+		rounds := map[Problem]int{
+			LeaderElection:     le,
+			NontrivialMove:     nm,
+			DirectionAgreement: da,
+			LocationDiscovery:  discRec.Rounds,
+		}
+		problems := []Problem{LeaderElection, NontrivialMove, DirectionAgreement, LocationDiscovery}
+		if c.s.CommonSense {
+			// Table II has no direction-agreement column: it is given.
+			problems = []Problem{LeaderElection, NontrivialMove, LocationDiscovery}
+		}
+		for _, p := range problems {
+			bound, boundStr := Bound(c.s, p, c.n, coordRec.IDBound)
+			m := Measurement{
+				Setting: c.s, Problem: p, N: c.n, IDBound: coordRec.IDBound,
+				Rounds: rounds[p], Bound: bound, BoundStr: boundStr,
+				Solvable: true,
 			}
-			ldTotal, _, _, solvable, err := MeasureLocationDiscovery(s, n, idBound, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s n=%d location discovery: %w", s.Name, n, err)
+			if p == LocationDiscovery && discRec.Status == campaign.StatusUnsolvable {
+				m.Solvable = false
+				m.Rounds = 0
 			}
-			rounds := map[Problem]int{
-				LeaderElection:     le,
-				NontrivialMove:     nm,
-				DirectionAgreement: da,
-				LocationDiscovery:  ldTotal,
-			}
-			for _, p := range problems {
-				bound, boundStr := Bound(s, p, n, idBound)
-				m := Measurement{
-					Setting: s, Problem: p, N: n, IDBound: idBound,
-					Rounds: rounds[p], Bound: bound, BoundStr: boundStr,
-					Solvable: true,
-				}
-				if p == LocationDiscovery && !solvable {
-					m.Solvable = false
-					m.Rounds = 0
-				}
-				out = append(out, m)
-			}
+			out = append(out, m)
 		}
 	}
 	return out, nil

@@ -102,10 +102,10 @@ type RandomConfig struct {
 	IDBound int
 	// Model is the movement model; defaults to Perceptive.
 	Model Model
-	// MixedChirality gives every agent an independent random orientation.
+	// MixedChirality gives every agent an independent random orientation;
+	// when false (the default), all agents share the global orientation.
 	MixedChirality bool
-	// CommonChirality forces all agents to share the global orientation
-	// (the default when MixedChirality is false).
+	// Seed drives the deterministic pseudo-random generation.
 	Seed int64
 	// Circumference in ticks; defaults to 1<<20.
 	Circumference int64
