@@ -3,6 +3,7 @@ package ringsym_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"testing"
 
 	"ringsym/internal/campaign"
@@ -300,19 +301,23 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { run(b, 0) })
 }
 
-// BenchmarkEngineRound measures the raw cost of a single synchronised round
-// of the runtime (goroutine barrier plus the analytic collision engine).
-func BenchmarkEngineRound(b *testing.B) {
+// benchEngineRound measures the raw cost of a single synchronised round
+// (goroutine barrier plus the analytic collision engine) on the given
+// runtime, reporting rounds/sec.  run is engine.Run (the v2 direct-dispatch
+// barrier) or engine.RunLegacy (the v1 channel rendezvous kept as baseline);
+// the v1-vs-v2 ratio is the speedup recorded in EXPERIMENTS.md.
+func benchEngineRound(b *testing.B, run func(*engine.Network, func(*engine.Agent) (int, error)) (*engine.Result[int], error)) {
 	for _, n := range []int{16, 128, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			cfg := netgen.MustGenerate(netgen.Options{N: n, Seed: 1, Model: ring.Perceptive})
+			cfg.MaxRounds = math.MaxInt
 			nw, err := engine.New(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			rounds := b.N
-			_, err = engine.Run(nw, func(a *engine.Agent) (int, error) {
+			_, err = run(nw, func(a *engine.Agent) (int, error) {
 				dir := ring.Clockwise
 				if a.ID()%2 == 0 {
 					dir = ring.Anticlockwise
@@ -328,6 +333,19 @@ func BenchmarkEngineRound(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
 		})
 	}
+}
+
+// BenchmarkEngineRound measures the v2 direct-dispatch runtime.
+func BenchmarkEngineRound(b *testing.B) {
+	benchEngineRound(b, engine.Run[int])
+}
+
+// BenchmarkEngineRoundLegacy measures the retained v1 channel-rendezvous
+// runtime on the same workload, for direct comparison with
+// BenchmarkEngineRound.
+func BenchmarkEngineRoundLegacy(b *testing.B) {
+	benchEngineRound(b, engine.RunLegacy[int])
 }

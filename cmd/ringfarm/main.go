@@ -58,22 +58,34 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the live progress line on stderr")
 	flag.Parse()
 
+	// Validate flags up front, before any expansion or execution, so a bad
+	// invocation fails with a usage message instead of a downstream panic or
+	// a silently empty sweep.
+	i, m, err := campaign.ParseShard(*shard)
+	if err != nil {
+		usageError(err)
+	}
+	if *workers < 0 {
+		usageError(fmt.Errorf("invalid -workers %d (must be >= 0; 0 means GOMAXPROCS)", *workers))
+	}
+	if *idFactor < 0 {
+		usageError(fmt.Errorf("invalid -idfactor %d (must be >= 0; 0 means the default of 4)", *idFactor))
+	}
 	matrix, err := buildMatrix(*spec, *tasks, *models, *parities, *chirality, *commonSense, *sizes, *seeds, *idFactor)
 	if err != nil {
-		log.Fatal(err)
+		usageError(err)
 	}
 	scenarios, err := matrix.Expand()
 	if err != nil {
-		log.Fatal(err)
+		usageError(err)
 	}
 	total := len(scenarios)
-	i, m, err := campaign.ParseShard(*shard)
-	if err != nil {
-		log.Fatal(err)
-	}
 	scenarios, err = campaign.Shard(scenarios, i, m)
 	if err != nil {
-		log.Fatal(err)
+		usageError(err)
+	}
+	if len(scenarios) == 0 {
+		log.Printf("warning: shard %d/%d selects 0 of %d scenarios (more shards than scenarios?)", i, m, total)
 	}
 	if *dryrun {
 		for _, sc := range scenarios {
@@ -85,6 +97,14 @@ func main() {
 	if err := runCampaign(scenarios, i, m, total, *workers, *out, *quiet); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// usageError prints the flag error together with the usage text and exits
+// with the conventional bad-usage status.
+func usageError(err error) {
+	fmt.Fprintf(os.Stderr, "ringfarm: %v\n\n", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers int, outDir string, quiet bool) error {

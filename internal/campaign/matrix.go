@@ -18,6 +18,7 @@ package campaign
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"ringsym/internal/ring"
@@ -239,15 +240,27 @@ func Shard(scenarios []Scenario, i, m int) ([]Scenario, error) {
 	return scenarios[lo:hi], nil
 }
 
-// ParseShard parses an "i/m" shard designator.
+// ParseShard parses an "i/m" shard designator.  Both parts must be plain
+// decimal integers with no trailing input (Sscanf-style parsing would
+// silently accept "0/4x" or "1/2/3"), m must be at least 1, and i must lie
+// in [0, m).
 func ParseShard(s string) (i, m int, err error) {
 	if s == "" {
 		return 0, 1, nil
 	}
-	if _, err := fmt.Sscanf(s, "%d/%d", &i, &m); err != nil {
-		return 0, 0, fmt.Errorf("campaign: invalid shard %q (want i/m)", s)
+	is, ms, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("campaign: invalid shard %q (want i/m, e.g. 0/4)", s)
 	}
-	if m < 1 || i < 0 || i >= m {
+	i, err1 := strconv.Atoi(is)
+	m, err2 := strconv.Atoi(ms)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("campaign: invalid shard %q (want i/m with decimal i and m)", s)
+	}
+	if m < 1 {
+		return 0, 0, fmt.Errorf("campaign: invalid shard %q (m must be >= 1)", s)
+	}
+	if i < 0 || i >= m {
 		return 0, 0, fmt.Errorf("campaign: invalid shard %q (need 0 <= i < m)", s)
 	}
 	return i, m, nil

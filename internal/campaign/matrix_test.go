@@ -116,7 +116,13 @@ func TestParseShard(t *testing.T) {
 	if i, m, err := ParseShard("2/5"); err != nil || i != 2 || m != 5 {
 		t.Errorf("ParseShard(2/5) = %d/%d, %v", i, m, err)
 	}
-	for _, s := range []string{"5/5", "-1/3", "x/y", "3"} {
+	for _, s := range []string{
+		"5/5", "-1/3", "x/y", "3",
+		// Degenerate and trailing-garbage designators must be rejected too:
+		// m=0 would make every shard invalid, and Sscanf-style parsing used
+		// to silently ignore the junk after a valid prefix.
+		"0/0", "1/0", "0/4x", "1/2/3", " 0/4", "0/ 4", "0x1/4", "/4", "0/",
+	} {
 		if _, _, err := ParseShard(s); err == nil {
 			t.Errorf("ParseShard(%q) accepted", s)
 		}

@@ -105,7 +105,14 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 		go func() {
 			defer wg.Done()
 			for sc := range feed {
-				rec := RunScenario(sc, opts)
+				// The scenario runs under ctx, so cancellation interrupts an
+				// in-flight protocol within one round instead of waiting out
+				// the round bound, recording the scenario as failed with an
+				// error wrapping context.Canceled.  Emission below stays
+				// best-effort on a cancelled context (the documented Run
+				// contract): a consumer that keeps draining until close
+				// receives the record unless ctx.Done wins the race.
+				rec := RunScenarioContext(ctx, sc, opts)
 				select {
 				case out <- rec:
 				case <-ctx.Done():
@@ -139,7 +146,15 @@ func RunAll(ctx context.Context, scenarios []Scenario, opts Options) ([]Record, 
 // network with netgen and drives it through the public ringsym facade, which
 // verifies outcomes against the simulator's ground truth.  Panics anywhere in
 // generation or protocol execution are recovered into a failed record.
-func RunScenario(sc Scenario, opts Options) (rec Record) {
+func RunScenario(sc Scenario, opts Options) Record {
+	return RunScenarioContext(context.Background(), sc, opts)
+}
+
+// RunScenarioContext is RunScenario with cancellation: when ctx is cancelled
+// the in-flight protocol is aborted within one round and the scenario is
+// recorded as failed with an error wrapping context.Canceled (or the context's
+// cause), rather than running until the engine's round bound.
+func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Record) {
 	start := time.Now()
 	rec = Record{Scenario: sc}
 	defer func() {
@@ -200,7 +215,7 @@ func RunScenario(sc Scenario, opts Options) (rec Record) {
 
 	switch sc.Task {
 	case TaskCoordinate:
-		res, err := nw.Coordinate(ringsym.CoordinationOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
+		res, err := nw.CoordinateContext(ctx, ringsym.CoordinationOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
 		if err != nil {
 			rec.Status = StatusFailed
 			rec.Error = err.Error()
@@ -213,7 +228,7 @@ func RunScenario(sc Scenario, opts Options) (rec Record) {
 		rec.RoundsLeader = a.RoundsLeader
 		rec.LeaderID = res.LeaderID
 	case TaskDiscover:
-		res, err := nw.DiscoverLocations(ringsym.DiscoveryOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
+		res, err := nw.DiscoverLocationsContext(ctx, ringsym.DiscoveryOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
 		if err != nil {
 			rec.Status = StatusFailed
 			rec.Error = err.Error()

@@ -139,6 +139,54 @@ func TestRunCancellation(t *testing.T) {
 	}
 }
 
+// TestRunScenarioContextCancelledSurfacesError verifies that a cancelled
+// context turns the scenario into a failed record that names
+// context.Canceled, instead of the protocol running to completion (or until
+// the engine's round bound).
+func TestRunScenarioContextCancelledSurfacesError(t *testing.T) {
+	scs, err := smallMatrix().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := RunScenarioContext(ctx, scs[0], Options{})
+	if rec.Status != StatusFailed {
+		t.Fatalf("status = %s, want failed", rec.Status)
+	}
+	if !strings.Contains(rec.Error, context.Canceled.Error()) {
+		t.Fatalf("record error %q does not surface context.Canceled", rec.Error)
+	}
+	// The record still carries its scenario identity and bound so aggregated
+	// artefacts stay well-formed.
+	if rec.Index != scs[0].Index || rec.BoundStr == "" {
+		t.Errorf("cancelled record lost scenario identity: %+v", rec)
+	}
+}
+
+// TestRunCancelledPoolDrainsPromptly verifies the pool does not hang on
+// cancellation even when every scenario would otherwise be long-running: the
+// context aborts in-flight engine runs within a round.
+func TestRunCancelledPoolDrainsPromptly(t *testing.T) {
+	scs, err := smallMatrix().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range Run(ctx, scs, Options{Workers: 2}) {
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled pool did not drain")
+	}
+}
+
 func TestShardUnionReproducesFullExport(t *testing.T) {
 	scs, err := Matrix{
 		Tasks:  []Task{TaskCoordinate, TaskDiscover},

@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ringsym/internal/ring"
+)
+
+// testHookExecuteRound, when set, runs at the start of every round execution;
+// tests use it to inject executor-side panics.
+var testHookExecuteRound func()
+
+// awaitSpins bounds the cooperative-yield phase of a barrier wait before the
+// waiter parks on its wake channel.  Rounds are microsecond-scale, so a
+// waiting agent usually sees the round execute within a yield or two; the
+// park path only pays off when another agent computes for a long time
+// between rounds.
+const awaitSpins = 8
+
+// barrier is the direct-dispatch round synchroniser of the v2 runtime.  All
+// agent goroutines of a run share one barrier: an agent publishes its
+// objective direction into its preallocated slot, decrements a single atomic
+// countdown and, if it is the last active agent to arrive, executes the round
+// inline on the analytic engine and publishes a new round generation.  There
+// is no coordinator goroutine, no shared lock on the hot path and no
+// per-round channel rendezvous, and a steady-state round performs no
+// allocations (directions, submission flags and observations live in buffers
+// reused across rounds and across runs).
+//
+// Waiters first yield cooperatively watching the generation counter; only a
+// waiter that outlives the spin phase registers itself as parked and blocks
+// on its private wake channel, which the round executor (or a failure)
+// tokens.  The parked flag and the generation counter form a Dekker pair:
+// either the executor observes the flag and sends a token, or the waiter
+// observes the advanced generation and never blocks.
+//
+// Invariants:
+//
+//   - A round executes exactly when every active agent has either submitted a
+//     direction (await) or left the run (leave); agents that already finished
+//     are assigned their default direction, their own clockwise, because the
+//     model requires everybody to act in every round.
+//   - Only the executing goroutine touches the ring state, the shared outcome
+//     buffer and other agents' submission flags, and it does so strictly
+//     between observing the countdown hit zero and advancing the generation;
+//     publication is ordered by the countdown (arrivals before) and the
+//     generation/wake tokens (waiters after).
+//   - Observations stay frame-translated at the barrier boundary: the buffer
+//     holds objective observations, and each Agent.Round translates its own
+//     entry into the agent's private frame after waking.  The buffer is only
+//     overwritten by the next round, which cannot complete before every
+//     released waiter has submitted again (or left).
+//   - failErr is sticky: once the run fails (max rounds, broken network
+//     state, context cancellation via abort) every present and future arrival
+//     returns the same error immediately and no further round executes, so
+//     runaway protocols that keep submitting cannot deadlock the run.
+type barrier struct {
+	nw *Network
+
+	remaining atomic.Int32          // active agents yet to arrive this round
+	gen       atomic.Uint64         // completed-round generation counter
+	failErr   atomic.Pointer[error] // sticky run failure
+
+	dirs      []ring.Direction // objective direction by ring index
+	submitted []bool           // whether agent i submitted this round
+	out       ring.Outcome     // observations of the last executed round
+	parked    []atomic.Bool    // whether agent i blocked past the spin phase
+	wake      []chan struct{}  // per-agent release tokens (cap 2: round + abort)
+}
+
+func newBarrier(nw *Network) *barrier {
+	n := nw.N()
+	b := &barrier{
+		nw:        nw,
+		dirs:      make([]ring.Direction, n),
+		submitted: make([]bool, n),
+		parked:    make([]atomic.Bool, n),
+		wake:      make([]chan struct{}, n),
+	}
+	b.out.Agents = make([]ring.Observation, n)
+	for i := range b.wake {
+		b.wake[i] = make(chan struct{}, 2)
+	}
+	return b
+}
+
+// reset prepares the barrier for a new run of n agents.  It must only be
+// called while no run (and no run watcher) is in flight, which beginRun and
+// the watcher join in RunContext guarantee.
+func (b *barrier) reset(n int) {
+	b.remaining.Store(int32(n))
+	b.failErr.Store(nil)
+	for i := range b.submitted {
+		b.submitted[i] = false
+		b.parked[i].Store(false)
+	}
+	// Drop stale tokens left by an aborted previous run.
+	for _, ch := range b.wake {
+		for len(ch) > 0 {
+			<-ch
+		}
+	}
+}
+
+// await submits agent idx's objective direction for the next round, blocks
+// until the round has been executed and returns the agent's objective
+// observation.
+func (b *barrier) await(idx int, dir ring.Direction) (ring.Observation, error) {
+	if p := b.failErr.Load(); p != nil {
+		return ring.Observation{}, *p
+	}
+	b.dirs[idx] = dir
+	b.submitted[idx] = true
+	gen := b.gen.Load()
+	if b.remaining.Add(-1) == 0 {
+		// Direct dispatch: the last arriver executes the round itself.  The
+		// buffer read below is safe after the generation advances because the
+		// next round cannot complete before this agent submits again.
+		if err := b.executeRound(idx); err != nil {
+			return ring.Observation{}, err
+		}
+		return b.out.Agents[idx], nil
+	}
+	for spins := 0; ; spins++ {
+		if b.gen.Load() != gen {
+			return b.out.Agents[idx], nil
+		}
+		if p := b.failErr.Load(); p != nil {
+			return ring.Observation{}, *p
+		}
+		if spins >= awaitSpins {
+			break
+		}
+		runtime.Gosched()
+	}
+	// Slow path: publish the parked flag, then re-check the generation (the
+	// Dekker pair with the executor) and block for a token.  Stale tokens
+	// from raced rounds or aborts are absorbed by the re-check loop.
+	b.parked[idx].Store(true)
+	for b.gen.Load() == gen && b.failErr.Load() == nil {
+		<-b.wake[idx]
+	}
+	b.parked[idx].Store(false)
+	if p := b.failErr.Load(); p != nil {
+		return ring.Observation{}, *p
+	}
+	return b.out.Agents[idx], nil
+}
+
+// leave deregisters an agent whose protocol has returned.  If its departure
+// completes the current round's arrival count, the departing goroutine
+// executes the round on behalf of the agents still waiting.
+func (b *barrier) leave() {
+	if b.remaining.Add(-1) == 0 {
+		b.executeRound(-1)
+	}
+}
+
+// abort fails the run (sticky) and wakes every waiting agent; their pending
+// Round calls return the wrapped cause.  Safe to call concurrently with
+// rounds; at most one more round can complete after abort returns.
+func (b *barrier) abort(cause error) {
+	b.fail(fmt.Errorf("engine: run aborted: %w", cause))
+}
+
+// runErr returns the sticky run failure, if any.
+func (b *barrier) runErr() error {
+	if p := b.failErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// executeRound runs one synchronised round with the submitted directions,
+// filling in the default direction (the agent's own clockwise) for agents
+// that are no longer submitting.  selfIdx is the executing agent's ring index
+// when it is itself a submitter of this round, or -1 when the round was
+// completed by a departure.  Called by the goroutine that observed the
+// countdown reach zero; until it advances the generation it is the only
+// goroutine touching the shared round state.
+func (b *barrier) executeRound(selfIdx int) (err error) {
+	if p := b.failErr.Load(); p != nil {
+		// The run already failed; any waiters were woken by fail.
+		return *p
+	}
+	// A panic while executing the round would otherwise strand every waiter
+	// forever (the generation never advances and nobody else can run a
+	// round): convert it into the sticky run failure so the run unwinds
+	// with an error instead of deadlocking.
+	defer func() {
+		if r := recover(); r != nil {
+			b.nw.broken = fmt.Errorf("round execution panicked: %v", r)
+			err = b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, b.nw.broken))
+		}
+	}()
+	if testHookExecuteRound != nil {
+		testHookExecuteRound()
+	}
+	nw := b.nw
+	// Count this round's submitters and clear their flags while no waiter
+	// can yet be released (the generation has not advanced): a spinning
+	// waiter resubmits immediately after observing the new generation, so
+	// its flag must not be touched after the bump.
+	active := 0
+	for i := range b.dirs {
+		if b.submitted[i] {
+			b.submitted[i] = false
+			active++
+		} else {
+			b.dirs[i] = nw.objectiveDir(i, ring.Clockwise)
+		}
+	}
+	if active == 0 {
+		// Every agent has left; the run is over and nobody is waiting.  This
+		// must precede the error checks: a protocol that terminates after
+		// consuming exactly the round budget has not exceeded anything (the
+		// v1 coordinator likewise only errored with requests pending).
+		return nil
+	}
+	if nw.state.Rounds() >= nw.cfg.MaxRounds {
+		return b.fail(fmt.Errorf("%w (%d)", ErrMaxRoundsExceed, nw.cfg.MaxRounds))
+	}
+	if nw.broken != nil {
+		return b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, nw.broken))
+	}
+	if err := nw.state.ExecuteRoundInto(b.dirs, &b.out); err != nil {
+		// Should be impossible: directions are validated per agent before
+		// submission.  Mark the network broken and fail everyone.
+		nw.broken = err
+		return b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, err))
+	}
+	// Re-arm the countdown for the next round before releasing anyone: the
+	// submitters of this round are exactly the agents still active.  The
+	// generation bump releases the spinning waiters; parked waiters
+	// additionally need a token, sent after the bump so a consumed token
+	// always finds the new generation (Dekker: a waiter that parks after the
+	// scan below is guaranteed to observe the advanced generation first).
+	// After the bump only the atomic parked flags and the wake channels may
+	// be touched: a departing agent's executeRound runs concurrently with
+	// the next round once its waiters resubmit, so the shared round state is
+	// off limits.  Tokens sent to waiters already parked for the next round
+	// are absorbed by their re-check loop.
+	b.remaining.Store(int32(active))
+	b.gen.Add(1)
+	for i := range b.parked {
+		if i != selfIdx && b.parked[i].Load() {
+			select {
+			case b.wake[i] <- struct{}{}:
+			default:
+			}
+		}
+	}
+	return nil
+}
+
+// fail publishes the sticky error (first failure wins) and wakes every agent
+// slot with a non-blocking token so parked waiters re-check the failure.
+func (b *barrier) fail(err error) error {
+	if b.failErr.CompareAndSwap(nil, &err) {
+		for _, ch := range b.wake {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
+		return err
+	}
+	return *b.failErr.Load()
+}

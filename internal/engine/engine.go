@@ -6,16 +6,21 @@
 // bound N, the parity of n and nothing else.  Calling Agent.Round submits the
 // direction the agent chooses for the next round (expressed in the agent's
 // own, private sense of direction) and blocks until every agent has chosen;
-// the coordinator then executes the round on the exact analytic engine
-// (internal/ring) and hands each agent its observation, translated back into
-// its own frame.
+// the round then executes on the exact analytic engine (internal/ring) and
+// each agent receives its observation, translated back into its own frame.
 //
-// The coordinator/agent rendezvous is what the round-based model of the paper
-// calls a "synchronised round"; goroutines and channels play the role of the
-// physical agents and the shared ring.
+// The barrier at which the agents meet is what the round-based model of the
+// paper calls a "synchronised round".  The v2 runtime dispatches rounds
+// directly: the last agent to arrive at the barrier executes the round inline
+// and releases the others with one broadcast (see barrier.go), agent
+// goroutines are pooled across runs (see gopool.go), and RunContext threads a
+// context through the round loop so cancellation interrupts an in-flight run
+// within one round.  The original coordinator-goroutine runtime is retained
+// as RunLegacy (legacy.go) as a differential-testing and benchmark baseline.
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -56,6 +61,7 @@ var (
 	ErrIdleNotAllowed  = errors.New("engine: idle is only allowed in the lazy model")
 	ErrBadDirection    = errors.New("engine: invalid direction")
 	ErrProtocolPanic   = errors.New("engine: protocol panicked")
+	ErrRunInProgress   = errors.New("engine: a run is already in progress on this network")
 )
 
 // DefaultMaxRounds bounds runaway protocols when Config.MaxRounds is zero.
@@ -81,8 +87,10 @@ type Config struct {
 	// HideParity withholds the parity of n from the agents (the paper
 	// normally assumes the parity is known).
 	HideParity bool
-	// MaxRounds aborts a run that exceeds this many rounds; 0 means
-	// DefaultMaxRounds.
+	// MaxRounds aborts a run once the network's cumulative round count
+	// reaches this bound; 0 means DefaultMaxRounds.  The count accumulates
+	// across sequential runs on the same Network (as it always has), so a
+	// long-lived reused network spends a single budget, not one per run.
 	MaxRounds int
 	// AllowSmall permits n <= 4 (excluded by the paper, useful in tests).
 	AllowSmall bool
@@ -103,45 +111,46 @@ type Observation struct {
 	Collided bool
 }
 
-// Network owns the objective ring state and coordinates rounds.
+// Network owns the objective ring state and coordinates rounds.  A Network
+// supports at most one run at a time: a concurrent Run/RunContext/RunLegacy
+// on the same Network fails with ErrRunInProgress instead of corrupting the
+// shared state.  Sequential runs reuse the same agent handles, barrier
+// buffers and pooled goroutines.
 type Network struct {
 	cfg     Config
 	state   *ring.State
 	agents  []*Agent
 	idToIdx map[int]int
+	barrier *barrier
 
-	mu     sync.Mutex
-	broken error
+	mu      sync.Mutex // guards running and (between runs) broken
+	running bool
+	broken  error
+}
+
+// dispatcher is the mechanism through which an agent's Round submission
+// reaches the analytic engine.  The v2 runtime dispatches directly at a
+// barrier; the retained v1 runtime rendezvouses with a coordinator goroutine
+// over channels (legacy.go).
+type dispatcher interface {
+	await(idx int, dir ring.Direction) (ring.Observation, error)
 }
 
 // Agent is the handle through which a protocol acts.  An Agent is only valid
 // inside the protocol invocation it was created for and must not be shared
 // across goroutines.
 type Agent struct {
-	nw        *Network
-	idx       int // ring index (never revealed to protocols)
-	id        int
-	idBound   int
-	parity    Parity
-	model     ring.Model
-	chirality bool
-	rounds    int
-	disp      int64
-
-	reqCh   chan<- roundRequest
-	replyCh chan roundReply
-}
-
-type roundRequest struct {
-	idx   int
-	dir   ring.Direction // objective direction
-	done  bool
-	reply chan roundReply
-}
-
-type roundReply struct {
-	obs ring.Observation
-	err error
+	nw         *Network
+	d          dispatcher
+	idx        int // ring index (never revealed to protocols)
+	id         int
+	idBound    int
+	parity     Parity
+	model      ring.Model
+	chirality  bool
+	fullCircle int64
+	rounds     int
+	disp       int64
 }
 
 // New validates cfg and builds the network.
@@ -179,6 +188,20 @@ func New(cfg Config) (*Network, error) {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
 	nw := &Network{cfg: cfg, state: st, idToIdx: idToIdx}
+	nw.barrier = newBarrier(nw)
+	nw.agents = make([]*Agent, n)
+	for i := 0; i < n; i++ {
+		nw.agents[i] = &Agent{
+			nw:         nw,
+			idx:        i,
+			id:         cfg.IDs[i],
+			idBound:    cfg.IDBound,
+			parity:     nw.parity(),
+			model:      cfg.Model,
+			chirality:  nw.ChiralityOf(i),
+			fullCircle: st.FullCircle(),
+		}
+	}
 	return nw, nil
 }
 
@@ -255,58 +278,113 @@ type Result[T any] struct {
 	Outputs []T
 }
 
+// beginRun acquires the network for a run: it rejects concurrent runs and
+// runs on a broken network, and resets the per-run agent state.  endRun
+// releases the network.
+func (nw *Network) beginRun() error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.running {
+		return ErrRunInProgress
+	}
+	if nw.broken != nil {
+		return fmt.Errorf("%w: %w", ErrNetworkBroken, nw.broken)
+	}
+	nw.running = true
+	for _, a := range nw.agents {
+		a.rounds = 0
+		a.disp = 0
+	}
+	return nil
+}
+
+func (nw *Network) endRun() {
+	nw.mu.Lock()
+	nw.running = false
+	nw.mu.Unlock()
+}
+
 // Run executes protocol on every agent concurrently and waits for all of
 // them.  It returns the per-agent outputs (indexed by ring index) and the
 // number of rounds consumed.  Protocol errors from different agents are
 // joined into a single error.
 func Run[T any](nw *Network, protocol func(a *Agent) (T, error)) (*Result[T], error) {
+	return RunContext(context.Background(), nw, protocol)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, the in-flight
+// round barrier is aborted, every blocked Agent.Round returns an error
+// wrapping the context's error within one round, and the run's joined error
+// reports the cancellation.  A protocol is expected to return when Round
+// fails; a protocol that ignores Round errors keeps receiving the same
+// sticky error, and one that blocks forever without calling Round cannot be
+// interrupted (the goroutine is parked inside protocol code the runtime does
+// not own).
+func RunContext[T any](ctx context.Context, nw *Network, protocol func(a *Agent) (T, error)) (*Result[T], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: run not started: %w", err)
+	}
+	if err := nw.beginRun(); err != nil {
+		return nil, err
+	}
+	defer nw.endRun()
+
 	n := nw.N()
 	startRounds := nw.state.Rounds()
-	reqCh := make(chan roundRequest)
-
-	agents := make([]*Agent, n)
-	for i := 0; i < n; i++ {
-		agents[i] = &Agent{
-			nw:        nw,
-			idx:       i,
-			id:        nw.cfg.IDs[i],
-			idBound:   nw.cfg.IDBound,
-			parity:    nw.parity(),
-			model:     nw.cfg.Model,
-			chirality: nw.ChiralityOf(i),
-			reqCh:     reqCh,
-			replyCh:   make(chan roundReply, 1),
-		}
-	}
-	nw.agents = agents
+	b := nw.barrier
+	b.reset(n)
 
 	outputs := make([]T, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
-		go func(a *Agent) {
+		a := nw.agents[i]
+		a.d = b
+		submit(func() {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
 					errs[a.idx] = fmt.Errorf("%w: %v", ErrProtocolPanic, r)
 				}
-				// Always announce completion so the coordinator can finish.
-				a.reqCh <- roundRequest{idx: a.idx, done: true}
+				// Always deregister so the barrier can finish the run.
+				b.leave()
 			}()
 			out, err := protocol(a)
 			outputs[a.idx] = out
 			errs[a.idx] = err
-		}(agents[i])
+		})
 	}
 
-	coordErr := nw.coordinate(reqCh, n)
+	if ctx.Done() != nil {
+		// AfterFunc avoids spawning a watcher goroutine per run on the
+		// common non-cancelled path.  When stop reports the callback already
+		// started, join it before returning: an in-flight abort must not
+		// leak into the next run's fresh barrier state.
+		abortDone := make(chan struct{})
+		stop := context.AfterFunc(ctx, func() {
+			b.abort(ctx.Err())
+			close(abortDone)
+		})
+		defer func() {
+			if !stop() {
+				<-abortDone
+			}
+		}()
+	}
 	wg.Wait()
 
 	res := &Result[T]{Rounds: nw.state.Rounds() - startRounds, Outputs: outputs}
-	all := make([]error, 0, n+1)
-	if coordErr != nil {
-		all = append(all, coordErr)
+	return res, joinRunErrors(nw, b.runErr(), errs)
+}
+
+// joinRunErrors merges the run-level error (max rounds, broken state,
+// cancellation) with the per-agent protocol errors, matching the error shape
+// of the original runtime.
+func joinRunErrors(nw *Network, runErr error, errs []error) error {
+	all := make([]error, 0, len(errs)+1)
+	if runErr != nil {
+		all = append(all, runErr)
 	}
 	for i, err := range errs {
 		if err != nil {
@@ -314,76 +392,9 @@ func Run[T any](nw *Network, protocol func(a *Agent) (T, error)) (*Result[T], er
 		}
 	}
 	if len(all) > 0 {
-		return res, errors.Join(all...)
+		return errors.Join(all...)
 	}
-	return res, nil
-}
-
-// coordinate runs the barrier loop until every agent goroutine has reported
-// completion.  Agents whose protocol already finished are given their default
-// direction (their own clockwise) in any remaining rounds, since the model
-// requires everybody to act in every round.
-func (nw *Network) coordinate(reqCh <-chan roundRequest, n int) error {
-	active := n
-	var firstErr error
-	for active > 0 {
-		pending := make([]roundRequest, 0, active)
-		want := active
-		for received := 0; received < want; received++ {
-			req := <-reqCh
-			if req.done {
-				active--
-				continue
-			}
-			pending = append(pending, req)
-		}
-		if len(pending) == 0 {
-			continue
-		}
-
-		var reply roundReply
-		if nw.state.Rounds() >= nw.cfg.MaxRounds {
-			reply.err = fmt.Errorf("%w (%d)", ErrMaxRoundsExceed, nw.cfg.MaxRounds)
-		} else if nw.broken != nil {
-			reply.err = fmt.Errorf("%w: %w", ErrNetworkBroken, nw.broken)
-		}
-		if reply.err != nil {
-			if firstErr == nil {
-				firstErr = reply.err
-			}
-			for _, req := range pending {
-				req.reply <- reply
-			}
-			continue
-		}
-
-		dirs := make([]ring.Direction, n)
-		for i := range dirs {
-			// Default for agents that are no longer (or not yet) submitting:
-			// move in their own clockwise direction.
-			dirs[i] = nw.objectiveDir(i, ring.Clockwise)
-		}
-		for _, req := range pending {
-			dirs[req.idx] = req.dir
-		}
-		out, err := nw.state.ExecuteRound(dirs)
-		if err != nil {
-			// Should be impossible: directions are validated per agent
-			// before submission.  Mark the network broken and fail everyone.
-			nw.broken = err
-			if firstErr == nil {
-				firstErr = err
-			}
-			for _, req := range pending {
-				req.reply <- roundReply{err: fmt.Errorf("%w: %w", ErrNetworkBroken, err)}
-			}
-			continue
-		}
-		for _, req := range pending {
-			req.reply <- roundReply{obs: out.Agents[req.idx]}
-		}
-	}
-	return firstErr
+	return nil
 }
 
 // objectiveDir translates agent i's own-frame direction into the global frame.
@@ -408,16 +419,16 @@ func (a *Agent) Model() ring.Model { return a.model }
 
 // FullCircle returns the circumference of the ring in observation units
 // (half-ticks); the paper normalises it to 1.
-func (a *Agent) FullCircle() int64 { return a.nw.state.FullCircle() }
+func (a *Agent) FullCircle() int64 { return a.fullCircle }
 
 // RoundsUsed returns how many rounds this agent has participated in during
 // the current run.
 func (a *Agent) RoundsUsed() int { return a.rounds }
 
-// Displacement returns the cumulative displacement of the agent since it was
-// created, measured in its own clockwise direction modulo the full circle
-// (half-ticks).  An agent always knows the arc between its initial and its
-// current position by summing its dist() observations.
+// Displacement returns the cumulative displacement of the agent since the
+// current run started, measured in its own clockwise direction modulo the
+// full circle (half-ticks).  An agent always knows the arc between its
+// initial and its current position by summing its dist() observations.
 func (a *Agent) Displacement() int64 { return a.disp }
 
 // Round submits the agent's chosen direction (in its own frame) for the next
@@ -437,18 +448,22 @@ func (a *Agent) Round(dir ring.Direction) (Observation, error) {
 	if !a.chirality && dir != ring.Idle {
 		objective = dir.Opposite()
 	}
-	a.reqCh <- roundRequest{idx: a.idx, dir: objective, reply: a.replyCh}
-	rep := <-a.replyCh
-	if rep.err != nil {
-		return Observation{}, rep.err
+	rep, err := a.d.await(a.idx, objective)
+	if err != nil {
+		return Observation{}, err
 	}
 	a.rounds++
-	obs := Observation{Collided: rep.obs.Collided, Coll: rep.obs.Coll}
-	if a.chirality || rep.obs.DistCW == 0 {
-		obs.Dist = rep.obs.DistCW
+	obs := Observation{Collided: rep.Collided, Coll: rep.Coll}
+	if a.chirality || rep.DistCW == 0 {
+		obs.Dist = rep.DistCW
 	} else {
-		obs.Dist = a.FullCircle() - rep.obs.DistCW
+		obs.Dist = a.fullCircle - rep.DistCW
 	}
-	a.disp = (a.disp + obs.Dist) % a.FullCircle()
+	// obs.Dist < fullCircle always, so a conditional subtraction replaces the
+	// modulo on the hot path.
+	a.disp += obs.Dist
+	if a.disp >= a.fullCircle {
+		a.disp -= a.fullCircle
+	}
 	return obs, nil
 }

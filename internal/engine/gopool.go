@@ -1,0 +1,52 @@
+package engine
+
+import "sync"
+
+// The agent goroutine pool.  A campaign executes millions of short runs, and
+// spawning (and growing the stack of) n fresh goroutines per run is pure
+// overhead, so finished agent goroutines park themselves on a free list and
+// are handed the next run's protocol instead of exiting.  The pool is shared
+// by every Network in the process: its size is bounded by the peak number of
+// concurrently running agents, and workers beyond maxIdleWorkers exit once
+// their run completes instead of parking.
+const maxIdleWorkers = 1 << 13
+
+var workerFreeList struct {
+	sync.Mutex
+	free []*worker
+}
+
+type worker struct {
+	jobs chan func()
+}
+
+// submit runs job on a pooled goroutine, spawning a new one only when the
+// free list is empty.
+func submit(job func()) {
+	workerFreeList.Lock()
+	var w *worker
+	if n := len(workerFreeList.free); n > 0 {
+		w = workerFreeList.free[n-1]
+		workerFreeList.free[n-1] = nil
+		workerFreeList.free = workerFreeList.free[:n-1]
+	}
+	workerFreeList.Unlock()
+	if w == nil {
+		w = &worker{jobs: make(chan func(), 1)}
+		go w.loop()
+	}
+	w.jobs <- job
+}
+
+func (w *worker) loop() {
+	for job := range w.jobs {
+		job()
+		workerFreeList.Lock()
+		if len(workerFreeList.free) >= maxIdleWorkers {
+			workerFreeList.Unlock()
+			return
+		}
+		workerFreeList.free = append(workerFreeList.free, w)
+		workerFreeList.Unlock()
+	}
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"ringsym/internal/ring"
+)
+
+// This file retains the original (v1) runtime: one freshly spawned goroutine
+// per agent per run, a dedicated coordinator goroutine, and two channel hops
+// per agent per round (request to the coordinator, reply back).  It exists as
+// the differential-testing baseline for the direct-dispatch barrier runtime
+// and as the reference side of the v1-vs-v2 benchmark; new code should use
+// Run or RunContext.
+
+type roundRequest struct {
+	idx   int
+	dir   ring.Direction // objective direction
+	done  bool
+	reply chan roundReply
+}
+
+type roundReply struct {
+	obs ring.Observation
+	err error
+}
+
+// channelDispatcher reproduces the v1 agent side of the rendezvous: submit a
+// request to the coordinator, block on the private reply channel.
+type channelDispatcher struct {
+	reqCh   chan<- roundRequest
+	replies []chan roundReply
+}
+
+func (c *channelDispatcher) await(idx int, dir ring.Direction) (ring.Observation, error) {
+	c.reqCh <- roundRequest{idx: idx, dir: dir, reply: c.replies[idx]}
+	rep := <-c.replies[idx]
+	return rep.obs, rep.err
+}
+
+// RunLegacy executes protocol on every agent with the v1 channel-rendezvous
+// runtime.  Observations, outputs and round counts are identical to Run; only
+// the synchronisation substrate differs.  It does not support cancellation.
+func RunLegacy[T any](nw *Network, protocol func(a *Agent) (T, error)) (*Result[T], error) {
+	if err := nw.beginRun(); err != nil {
+		return nil, err
+	}
+	defer nw.endRun()
+
+	n := nw.N()
+	startRounds := nw.state.Rounds()
+	reqCh := make(chan roundRequest)
+	d := &channelDispatcher{reqCh: reqCh, replies: make([]chan roundReply, n)}
+	for i := range d.replies {
+		d.replies[i] = make(chan roundReply, 1)
+	}
+
+	outputs := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		a := nw.agents[i]
+		a.d = d
+		go func(a *Agent) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[a.idx] = fmt.Errorf("%w: %v", ErrProtocolPanic, r)
+				}
+				// Always announce completion so the coordinator can finish.
+				reqCh <- roundRequest{idx: a.idx, done: true}
+			}()
+			out, err := protocol(a)
+			outputs[a.idx] = out
+			errs[a.idx] = err
+		}(a)
+	}
+
+	coordErr := nw.coordinateLegacy(reqCh, n)
+	wg.Wait()
+
+	res := &Result[T]{Rounds: nw.state.Rounds() - startRounds, Outputs: outputs}
+	return res, joinRunErrors(nw, coordErr, errs)
+}
+
+// coordinateLegacy is the v1 coordinator loop: collect one request per active
+// agent, execute the round, reply to every pending agent.
+func (nw *Network) coordinateLegacy(reqCh <-chan roundRequest, n int) error {
+	active := n
+	var firstErr error
+	for active > 0 {
+		pending := make([]roundRequest, 0, active)
+		want := active
+		for received := 0; received < want; received++ {
+			req := <-reqCh
+			if req.done {
+				active--
+				continue
+			}
+			pending = append(pending, req)
+		}
+		if len(pending) == 0 {
+			continue
+		}
+
+		var reply roundReply
+		if nw.state.Rounds() >= nw.cfg.MaxRounds {
+			reply.err = fmt.Errorf("%w (%d)", ErrMaxRoundsExceed, nw.cfg.MaxRounds)
+		} else if nw.broken != nil {
+			reply.err = fmt.Errorf("%w: %w", ErrNetworkBroken, nw.broken)
+		}
+		if reply.err != nil {
+			if firstErr == nil {
+				firstErr = reply.err
+			}
+			for _, req := range pending {
+				req.reply <- reply
+			}
+			continue
+		}
+
+		dirs := make([]ring.Direction, n)
+		for i := range dirs {
+			// Default for agents that are no longer (or not yet) submitting:
+			// move in their own clockwise direction.
+			dirs[i] = nw.objectiveDir(i, ring.Clockwise)
+		}
+		for _, req := range pending {
+			dirs[req.idx] = req.dir
+		}
+		out, err := nw.state.ExecuteRound(dirs)
+		if err != nil {
+			// Should be impossible: directions are validated per agent
+			// before submission.  Mark the network broken and fail everyone.
+			nw.broken = err
+			if firstErr == nil {
+				firstErr = err
+			}
+			for _, req := range pending {
+				req.reply <- roundReply{err: fmt.Errorf("%w: %w", ErrNetworkBroken, err)}
+			}
+			continue
+		}
+		for _, req := range pending {
+			req.reply <- roundReply{obs: out.Agents[req.idx]}
+		}
+	}
+	return firstErr
+}

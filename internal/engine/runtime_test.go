@@ -1,0 +1,441 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ringsym/internal/ring"
+)
+
+// TestConcurrentRunRejected verifies that a second Run on a Network whose
+// run is still in flight fails with ErrRunInProgress instead of racing on the
+// shared state.  Meaningful under -race.
+func TestConcurrentRunRejected(t *testing.T) {
+	nw, err := New(testConfig(ring.Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := Run(nw, func(a *Agent) (struct{}, error) {
+			once.Do(func() { close(started) })
+			<-release
+			_, err := a.Round(ring.Clockwise)
+			return struct{}{}, err
+		})
+		firstDone <- err
+	}()
+	<-started
+
+	if _, err := Run(nw, func(a *Agent) (struct{}, error) { return struct{}{}, nil }); !errors.Is(err, ErrRunInProgress) {
+		t.Errorf("concurrent Run: got %v, want ErrRunInProgress", err)
+	}
+	if _, err := RunLegacy(nw, func(a *Agent) (struct{}, error) { return struct{}{}, nil }); !errors.Is(err, ErrRunInProgress) {
+		t.Errorf("concurrent RunLegacy: got %v, want ErrRunInProgress", err)
+	}
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first run failed: %v", err)
+	}
+	// The network must be reusable once the first run finished.
+	if _, err := Run(nw, func(a *Agent) (struct{}, error) { return struct{}{}, nil }); err != nil {
+		t.Fatalf("run after release failed: %v", err)
+	}
+}
+
+// TestRunContextCancellationStopsRunawayProtocol verifies the cancellation
+// satellite: a protocol that would run forever is interrupted by context
+// cancellation within a round or two of the cancel, with the run error
+// wrapping context.Canceled.
+func TestRunContextCancellationStopsRunawayProtocol(t *testing.T) {
+	cfg := testConfig(ring.Basic, nil)
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const cancelAfter = 10
+	res, err := RunContext(ctx, nw, func(a *Agent) (int, error) {
+		for {
+			if a.ID() == 7 && a.RoundsUsed() == cancelAfter {
+				cancel()
+			}
+			if _, err := a.Round(ring.Clockwise); err != nil {
+				return a.RoundsUsed(), err
+			}
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want an error wrapping context.Canceled", err)
+	}
+	// The abort must land promptly: without it the protocol would spin until
+	// DefaultMaxRounds.  A generous slack absorbs scheduling delay between
+	// cancel() and the watcher goroutine.
+	if res.Rounds > 10*cancelAfter {
+		t.Errorf("run consumed %d rounds after cancellation at round %d", res.Rounds, cancelAfter)
+	}
+	// The network is not broken by a cancellation: it can run again.
+	if _, err := Run(nw, func(a *Agent) (struct{}, error) {
+		_, err := a.Round(ring.Clockwise)
+		return struct{}{}, err
+	}); err != nil {
+		t.Fatalf("run after cancelled run failed: %v", err)
+	}
+}
+
+// TestRunContextPreCancelled verifies that an already-cancelled context
+// prevents the run from starting at all.
+func TestRunContextPreCancelled(t *testing.T) {
+	nw, err := New(testConfig(ring.Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err = RunContext(ctx, nw, func(a *Agent) (struct{}, error) {
+		ran = true
+		return struct{}{}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("protocol ran despite pre-cancelled context")
+	}
+	if nw.Rounds() != 0 {
+		t.Errorf("rounds executed: %d", nw.Rounds())
+	}
+}
+
+// traceEntry captures everything observable by a protocol in one round.
+type traceEntry struct {
+	dist, coll int64
+	collided   bool
+}
+
+// scriptedProtocol drives a deterministic pseudo-random direction sequence
+// derived from the agent's identity and records the full observation trace.
+// Agents use different round counts so the default-direction path for
+// finished agents is exercised.
+func scriptedProtocol(model ring.Model, rounds int) func(a *Agent) ([]traceEntry, error) {
+	return func(a *Agent) ([]traceEntry, error) {
+		myRounds := rounds + a.ID()%5
+		state := uint64(a.ID()*2654435761 + 12345)
+		var trace []traceEntry
+		for i := 0; i < myRounds; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			var dir ring.Direction
+			switch {
+			case model.AllowsIdle() && state%5 == 0:
+				dir = ring.Idle
+			case state%2 == 0:
+				dir = ring.Clockwise
+			default:
+				dir = ring.Anticlockwise
+			}
+			obs, err := a.Round(dir)
+			if err != nil {
+				return trace, err
+			}
+			trace = append(trace, traceEntry{obs.Dist, obs.Coll, obs.Collided})
+		}
+		trace = append(trace, traceEntry{dist: a.Displacement(), coll: int64(a.RoundsUsed())})
+		return trace, nil
+	}
+}
+
+// TestDirectDispatchMatchesLegacy runs the same scripted protocols on the v2
+// direct-dispatch runtime and on the retained v1 channel runtime and demands
+// identical observation traces, outputs, displacements and round counts
+// across models, chirality regimes and parities.
+func TestDirectDispatchMatchesLegacy(t *testing.T) {
+	chir6 := []bool{true, false, false, true, false, true}
+	for _, tc := range []struct {
+		name  string
+		model ring.Model
+		chir  []bool
+		circ  int64
+		pos   []int64
+	}{
+		{"basic-common", ring.Basic, nil, 1000, []int64{0, 100, 300, 600, 800}},
+		{"basic-mixed", ring.Basic, []bool{true, false, true, false, true}, 1000, []int64{0, 100, 300, 600, 800}},
+		{"lazy-mixed", ring.Lazy, chir6, 1200, []int64{0, 50, 300, 320, 600, 1000}},
+		{"perceptive-mixed", ring.Perceptive, chir6, 1200, []int64{0, 50, 300, 320, 600, 1000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			build := func() *Network {
+				n := len(tc.pos)
+				ids := make([]int, n)
+				for i := range ids {
+					ids[i] = 2*i + 1
+				}
+				nw, err := New(Config{
+					Model: tc.model, Circ: tc.circ, Positions: tc.pos,
+					IDs: ids, IDBound: 4 * n, Chirality: tc.chir,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return nw
+			}
+			v2, errV2 := Run(build(), scriptedProtocol(tc.model, 20))
+			v1, errV1 := RunLegacy(build(), scriptedProtocol(tc.model, 20))
+			if (errV2 == nil) != (errV1 == nil) {
+				t.Fatalf("error mismatch: v2=%v v1=%v", errV2, errV1)
+			}
+			if v2.Rounds != v1.Rounds {
+				t.Fatalf("rounds: v2=%d v1=%d", v2.Rounds, v1.Rounds)
+			}
+			for i := range v2.Outputs {
+				a, b := v2.Outputs[i], v1.Outputs[i]
+				if len(a) != len(b) {
+					t.Fatalf("agent %d trace length: v2=%d v1=%d", i, len(a), len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("agent %d entry %d: v2=%+v v1=%+v", i, j, a[j], b[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParkedWaiterPath forces waiters past the spin phase of the barrier (one
+// agent stalls between rounds) and checks that parked agents still receive
+// correct observations, against the legacy runtime as ground truth.
+func TestParkedWaiterPath(t *testing.T) {
+	protocol := func(stall bool) func(a *Agent) ([]int64, error) {
+		return func(a *Agent) ([]int64, error) {
+			var dists []int64
+			for i := 0; i < 6; i++ {
+				if stall && a.ID() == 7 {
+					// Stall long enough that every other agent exhausts its
+					// spin phase and parks.
+					time.Sleep(2 * time.Millisecond)
+				}
+				dir := ring.Clockwise
+				if a.ID()%2 == 0 {
+					dir = ring.Anticlockwise
+				}
+				obs, err := a.Round(dir)
+				if err != nil {
+					return nil, err
+				}
+				dists = append(dists, obs.Dist, obs.Coll)
+			}
+			return dists, nil
+		}
+	}
+	build := func() *Network {
+		nw, err := New(testConfig(ring.Perceptive, []bool{true, false, true, false, true}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+	slow, err := Run(build(), protocol(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunLegacy(build(), protocol(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Rounds != ref.Rounds {
+		t.Fatalf("rounds: %d vs %d", slow.Rounds, ref.Rounds)
+	}
+	for i := range slow.Outputs {
+		for j := range slow.Outputs[i] {
+			if slow.Outputs[i][j] != ref.Outputs[i][j] {
+				t.Fatalf("agent %d obs %d: %d vs %d", i, j, slow.Outputs[i][j], ref.Outputs[i][j])
+			}
+		}
+	}
+}
+
+// TestGoroutinePoolReuse verifies that sequential runs reuse pooled agent
+// goroutines instead of growing the goroutine count linearly.
+func TestGoroutinePoolReuse(t *testing.T) {
+	run := func() {
+		nw, err := New(testConfig(ring.Basic, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(nw, func(a *Agent) (struct{}, error) {
+			_, err := a.Round(ring.Clockwise)
+			return struct{}{}, err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pool
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		run()
+	}
+	// Pooled workers park between runs, so 50 more runs must not add ~50*n
+	// goroutines; allow generous slack for unrelated runtime goroutines.
+	if got := runtime.NumGoroutine(); got > base+10 {
+		t.Errorf("goroutines grew from %d to %d across 50 runs", base, got)
+	}
+}
+
+// TestRunErrorShapes pins the error layout of the v2 runtime against the
+// legacy behaviour for the max-rounds failure.
+func TestRunErrorShapes(t *testing.T) {
+	for name, run := range map[string]func(*Network, func(*Agent) (int, error)) (*Result[int], error){
+		"v2":     Run[int],
+		"legacy": RunLegacy[int],
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(ring.Basic, nil)
+			cfg.MaxRounds = 2
+			nw, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := run(nw, func(a *Agent) (int, error) {
+				for {
+					if _, err := a.Round(ring.Clockwise); err != nil {
+						return a.RoundsUsed(), err
+					}
+				}
+			})
+			if !errors.Is(err, ErrMaxRoundsExceed) {
+				t.Fatalf("got %v", err)
+			}
+			if res.Rounds != 2 {
+				t.Fatalf("rounds = %d, want 2", res.Rounds)
+			}
+			for i, used := range res.Outputs {
+				if used != 2 {
+					t.Errorf("agent %d used %d rounds", i, used)
+				}
+			}
+		})
+	}
+}
+
+// TestExecutorPanicFailsRunInsteadOfDeadlocking injects a panic into the
+// inline round executor and verifies the run unwinds with a broken-network
+// error for every agent instead of stranding the waiters forever.
+func TestExecutorPanicFailsRunInsteadOfDeadlocking(t *testing.T) {
+	fired := false
+	testHookExecuteRound = func() {
+		if !fired {
+			fired = true
+			panic("injected executor failure")
+		}
+	}
+	defer func() { testHookExecuteRound = nil }()
+
+	nw, err := New(testConfig(ring.Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		defer close(done)
+		_, runErr = Run(nw, func(a *Agent) (struct{}, error) {
+			_, err := a.Round(ring.Clockwise)
+			return struct{}{}, err
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run deadlocked after executor panic")
+	}
+	if !errors.Is(runErr, ErrNetworkBroken) {
+		t.Fatalf("got %v, want ErrNetworkBroken", runErr)
+	}
+	// The network stays broken: further runs are rejected up front.
+	if _, err := Run(nw, func(a *Agent) (struct{}, error) { return struct{}{}, nil }); !errors.Is(err, ErrNetworkBroken) {
+		t.Fatalf("run on broken network: got %v, want ErrNetworkBroken", err)
+	}
+}
+
+// TestExactRoundBudgetSucceeds pins that a protocol terminating after
+// exactly MaxRounds rounds succeeds on both runtimes: exhausting the budget
+// is only an error while agents still want another round.
+func TestExactRoundBudgetSucceeds(t *testing.T) {
+	for name, run := range map[string]func(*Network, func(*Agent) (int, error)) (*Result[int], error){
+		"v2":     Run[int],
+		"legacy": RunLegacy[int],
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(ring.Basic, nil)
+			cfg.MaxRounds = 3
+			nw, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := run(nw, func(a *Agent) (int, error) {
+				for i := 0; i < 3; i++ {
+					if _, err := a.Round(ring.Clockwise); err != nil {
+						return a.RoundsUsed(), err
+					}
+				}
+				return a.RoundsUsed(), nil
+			})
+			if err != nil {
+				t.Fatalf("exact-budget run failed: %v", err)
+			}
+			if res.Rounds != 3 {
+				t.Fatalf("rounds = %d, want 3", res.Rounds)
+			}
+		})
+	}
+}
+
+// TestManyAgentsSmoke exercises the barrier with a larger population than
+// the spin phase can hide, including mixed early exits.
+func TestManyAgentsSmoke(t *testing.T) {
+	const n = 257
+	positions := make([]int64, n)
+	ids := make([]int, n)
+	for i := range positions {
+		positions[i] = int64(4 * i)
+		ids[i] = i + 1
+	}
+	nw, err := New(Config{Model: ring.Perceptive, Circ: 4 * n * 2, Positions: positions, IDs: ids, IDBound: 2 * n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(nw, func(a *Agent) (int64, error) {
+		rounds := 1 + a.ID()%7
+		for i := 0; i < rounds; i++ {
+			dir := ring.Clockwise
+			if (a.ID()+i)%3 == 0 {
+				dir = ring.Anticlockwise
+			}
+			if _, err := a.Round(dir); err != nil {
+				return 0, err
+			}
+		}
+		return a.Displacement(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 7 {
+		t.Fatalf("rounds = %d, want 7", res.Rounds)
+	}
+	if fmt.Sprint(res.Outputs[0]) == "" {
+		t.Fatal("unreachable")
+	}
+}

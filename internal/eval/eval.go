@@ -198,6 +198,12 @@ func Bound(s Setting, p Problem, n, idBound int) (float64, string) {
 // discover scenario per (setting, size) cell, run on the campaign worker
 // pool, and the records are folded back into table measurements.
 func TableRows(settings []Setting, cfg SweepConfig) ([]Measurement, error) {
+	return TableRowsContext(context.Background(), settings, cfg)
+}
+
+// TableRowsContext is TableRows with cancellation: a cancelled ctx aborts
+// in-flight scenarios within one round and returns the context error.
+func TableRowsContext(ctx context.Context, settings []Setting, cfg SweepConfig) ([]Measurement, error) {
 	cfg.fill()
 	type cell struct {
 		s Setting
@@ -218,7 +224,7 @@ func TableRows(settings []Setting, cfg SweepConfig) ([]Measurement, error) {
 			scenarios = append(scenarios, disc)
 		}
 	}
-	recs, err := campaign.RunAll(context.Background(), scenarios, campaign.Options{})
+	recs, err := campaign.RunAll(ctx, scenarios, campaign.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("eval: campaign: %w", err)
 	}

@@ -4,12 +4,17 @@
 package netgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"ringsym/internal/engine"
 	"ringsym/internal/ring"
 )
+
+// ErrBadOptions is returned (wrapped) when the options cannot describe a
+// valid configuration.
+var ErrBadOptions = errors.New("netgen: bad options")
 
 // Options controls configuration generation.
 type Options struct {
@@ -43,7 +48,7 @@ type Options struct {
 
 func (o *Options) fillDefaults() error {
 	if o.N < 2 {
-		return fmt.Errorf("netgen: need at least 2 agents, got %d", o.N)
+		return fmt.Errorf("%w: need at least 2 agents, got %d", ErrBadOptions, o.N)
 	}
 	if o.IDBound == 0 {
 		o.IDBound = 4 * o.N
@@ -52,21 +57,44 @@ func (o *Options) fillDefaults() error {
 		}
 	}
 	if o.IDBound < o.N {
-		return fmt.Errorf("netgen: IDBound %d < N %d", o.IDBound, o.N)
+		return fmt.Errorf("%w: IDBound %d < N %d", ErrBadOptions, o.IDBound, o.N)
+	}
+	if o.Circ < 0 {
+		return fmt.Errorf("%w: negative circumference %d", ErrBadOptions, o.Circ)
 	}
 	if o.Circ == 0 {
 		o.Circ = 1 << 20
 	}
-	if o.Circ < 4*int64(o.N) {
-		o.Circ = 4 * int64(o.N)
-	}
 	if o.Circ%2 != 0 {
 		o.Circ++
+	}
+	if o.EqualSpacing {
+		// Equal spacing places the agents at multiples of an even step of the
+		// explicit circumference; an undersized circle would make the step
+		// collapse to zero and duplicate every position, so it is an error
+		// rather than a silently adjusted value.
+		if step := equalStep(o.Circ, o.N); step < 2 {
+			return fmt.Errorf("%w: circumference %d cannot hold %d equally spaced agents on even ticks (need Circ >= 2*N)",
+				ErrBadOptions, o.Circ, o.N)
+		}
+	} else if o.Circ < 4*int64(o.N) {
+		// Random placement draws distinct even positions; grow an undersized
+		// default-ish circle so the draw terminates (documented behaviour).
+		o.Circ = 4 * int64(o.N)
 	}
 	if o.Model == 0 {
 		o.Model = ring.Perceptive
 	}
 	return nil
+}
+
+// equalStep returns the even spacing step used by EqualSpacing placement.
+func equalStep(circ int64, n int) int64 {
+	step := circ / int64(n)
+	if step%2 != 0 {
+		step--
+	}
+	return step
 }
 
 // Generate builds an engine configuration according to opt.
@@ -116,10 +144,7 @@ func positionsFor(rng *rand.Rand, opt Options) []int64 {
 	n := opt.N
 	positions := make([]int64, 0, n)
 	if opt.EqualSpacing {
-		step := opt.Circ / int64(n)
-		if step%2 != 0 {
-			step--
-		}
+		step := equalStep(opt.Circ, n) // >= 2, validated by fillDefaults
 		for i := 0; i < n; i++ {
 			positions = append(positions, int64(i)*step)
 		}

@@ -1,6 +1,7 @@
 package netgen
 
 import (
+	"errors"
 	"testing"
 
 	"ringsym/internal/engine"
@@ -91,11 +92,14 @@ func TestGenerateEqualSpacing(t *testing.T) {
 }
 
 func TestGenerateValidation(t *testing.T) {
-	if _, err := Generate(Options{N: 1}); err == nil {
-		t.Error("N=1 accepted")
+	if _, err := Generate(Options{N: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("N=1: got %v, want ErrBadOptions", err)
 	}
-	if _, err := Generate(Options{N: 10, IDBound: 5}); err == nil {
-		t.Error("IDBound < N accepted")
+	if _, err := Generate(Options{N: 10, IDBound: 5}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("IDBound < N: got %v, want ErrBadOptions", err)
+	}
+	if _, err := Generate(Options{N: 10, Circ: -4}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("negative Circ: got %v, want ErrBadOptions", err)
 	}
 	defer func() {
 		if recover() == nil {
@@ -109,5 +113,29 @@ func TestGenerateSmallCircumferenceAdjusted(t *testing.T) {
 	cfg := MustGenerate(Options{N: 10, Circ: 7, Seed: 2, AllowSmall: true})
 	if cfg.Circ < 40 || cfg.Circ%2 != 0 {
 		t.Errorf("circumference %d not adjusted to a feasible even value", cfg.Circ)
+	}
+}
+
+// TestGenerateEqualSpacingTooSmallCircRejected pins the satellite bugfix: an
+// equal-spacing request whose circumference cannot hold N agents on distinct
+// even ticks must fail with a wrapped ErrBadOptions instead of producing a
+// zero step and duplicate positions.
+func TestGenerateEqualSpacingTooSmallCircRejected(t *testing.T) {
+	for _, circ := range []int64{6, 10, 18} {
+		if _, err := Generate(Options{N: 10, Circ: circ, EqualSpacing: true, AllowSmall: true}); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("Circ=%d N=10: got %v, want ErrBadOptions", circ, err)
+		}
+	}
+	// The boundary case Circ = 2N fits exactly (step 2) and must be accepted
+	// without the silent upsizing applied to random placement.
+	cfg, err := Generate(Options{N: 10, Circ: 20, EqualSpacing: true, AllowSmall: true})
+	if err != nil {
+		t.Fatalf("Circ=2N rejected: %v", err)
+	}
+	if cfg.Circ != 20 {
+		t.Errorf("Circ silently adjusted to %d", cfg.Circ)
+	}
+	if !geom.SortedDistinct(cfg.Circ, cfg.Positions) {
+		t.Errorf("positions not distinct/sorted: %v", cfg.Positions)
 	}
 }

@@ -141,6 +141,13 @@ type State struct {
 	gaps   []int64 // gaps[s] = clockwise arc from slots[s] to slots[(s+1)%n]
 	offset int     // cumulative rotation (in ring positions)
 	rounds int     // number of rounds executed
+
+	// Scratch buffers reused by ExecuteRoundInto so that executing a round
+	// performs no allocations.  They are lazily sized and never shared between
+	// states (Clone drops them).
+	scratchDirBySlot []Direction
+	scratchCW        []int64
+	scratchCCW       []int64
 }
 
 // Observation is the per-agent outcome of one round, in the objective frame.
@@ -244,6 +251,9 @@ func (s *State) Clone() *State {
 	cp := *s
 	cp.slots = append([]int64(nil), s.slots...)
 	cp.gaps = append([]int64(nil), s.gaps...)
+	cp.scratchDirBySlot = nil
+	cp.scratchCW = nil
+	cp.scratchCCW = nil
 	return &cp
 }
 
@@ -288,22 +298,51 @@ func (s *State) validate(dirs []Direction) error {
 // moving in the objective direction dirs[i].  It advances the state and
 // returns the per-agent observations.
 func (s *State) ExecuteRound(dirs []Direction) (*Outcome, error) {
-	if err := s.validate(dirs); err != nil {
+	out := &Outcome{}
+	if err := s.ExecuteRoundInto(dirs, out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// ExecuteRoundInto is ExecuteRound writing the observations into out, reusing
+// out.Agents and the state's internal scratch buffers.  A caller that keeps
+// the same Outcome across rounds executes rounds without any allocation.
+func (s *State) ExecuteRoundInto(dirs []Direction, out *Outcome) error {
+	if err := s.validate(dirs); err != nil {
+		return err
 	}
 	n := len(s.slots)
 	r := RotationIndex(n, dirs)
 
-	out := &Outcome{Rotation: r, Agents: make([]Observation, n)}
+	out.Rotation = r
+	if cap(out.Agents) < n {
+		out.Agents = make([]Observation, n)
+	} else {
+		out.Agents = out.Agents[:n]
+	}
 
 	// dist(): by Lemma 1 agent i moves from slot (i+offset) to slot
 	// (i+offset+r); its clockwise displacement is the arc between the two
-	// slot positions.
+	// slot positions.  The assignment also clears any stale Coll/Collided
+	// from a previous round sharing the buffer.  Indices stay below 2n and
+	// position differences within (-C, C), so conditional corrections replace
+	// the modulo operations on this per-round path.
+	circ := s.circle.Circ()
 	for i := 0; i < n; i++ {
-		from := (i + s.offset) % n
-		to := (from + r) % n
-		arc := s.circle.CWDist(s.slots[from], s.slots[to])
-		out.Agents[i].DistCW = 2 * arc
+		from := i + s.offset
+		if from >= n {
+			from -= n
+		}
+		to := from + r
+		if to >= n {
+			to -= n
+		}
+		arc := s.slots[to] - s.slots[from]
+		if arc < 0 {
+			arc += circ
+		}
+		out.Agents[i] = Observation{DistCW: 2 * arc}
 	}
 
 	// coll(): only in the perceptive model (which forbids idle agents).
@@ -313,7 +352,7 @@ func (s *State) ExecuteRound(dirs []Direction) (*Outcome, error) {
 
 	s.offset = (s.offset + r) % n
 	s.rounds++
-	return out, nil
+	return nil
 }
 
 // firstCollisions fills Coll/Collided for every agent.  The model forbids
@@ -323,21 +362,35 @@ func (s *State) ExecuteRound(dirs []Direction) (*Outcome, error) {
 // moves in the same objective direction nobody ever collides.
 func (s *State) firstCollisions(dirs []Direction, out *Outcome) {
 	n := len(s.slots)
+	if cap(s.scratchDirBySlot) < n {
+		s.scratchDirBySlot = make([]Direction, n)
+		s.scratchCW = make([]int64, n)
+		s.scratchCCW = make([]int64, n)
+	}
 	// dirBySlot[t] is the direction of the occupant of slot t.
-	dirBySlot := make([]Direction, n)
+	dirBySlot := s.scratchDirBySlot[:n]
 	for i := 0; i < n; i++ {
-		dirBySlot[(i+s.offset)%n] = dirs[i]
+		t := i + s.offset
+		if t >= n {
+			t -= n
+		}
+		dirBySlot[t] = dirs[i]
 	}
 
 	// cwToA[t]: aggregate clockwise gap (ticks) from slot t to the nearest
 	// slot strictly ahead whose occupant moves anticlockwise; -1 if none.
-	cwToA := distanceToDirection(s.gaps, dirBySlot, Anticlockwise, true)
+	cwToA := s.scratchCW[:n]
+	distanceToDirection(cwToA, s.gaps, dirBySlot, Anticlockwise, true)
 	// ccwToC[t]: aggregate anticlockwise gap from slot t to the nearest slot
 	// strictly behind whose occupant moves clockwise; -1 if none.
-	ccwToC := distanceToDirection(s.gaps, dirBySlot, Clockwise, false)
+	ccwToC := s.scratchCCW[:n]
+	distanceToDirection(ccwToC, s.gaps, dirBySlot, Clockwise, false)
 
 	for i := 0; i < n; i++ {
-		slot := (i + s.offset) % n
+		slot := i + s.offset
+		if slot >= n {
+			slot -= n
+		}
 		var agg int64 = -1
 		switch dirs[i] {
 		case Clockwise:
@@ -356,11 +409,11 @@ func (s *State) firstCollisions(dirs []Direction, out *Outcome) {
 
 // distanceToDirection computes, for every slot t, the aggregate gap from t to
 // the nearest slot strictly ahead whose occupant moves in direction want,
-// walking clockwise when cw is true and anticlockwise otherwise.  Every entry
-// is -1 when no slot has the wanted direction.  Runs in O(n).
-func distanceToDirection(gaps []int64, dirBySlot []Direction, want Direction, cw bool) []int64 {
+// walking clockwise when cw is true and anticlockwise otherwise, writing the
+// result into res (len(res) == len(gaps)).  Every entry is -1 when no slot
+// has the wanted direction.  Runs in O(n).
+func distanceToDirection(res, gaps []int64, dirBySlot []Direction, want Direction, cw bool) {
 	n := len(gaps)
-	res := make([]int64, n)
 	// Find any slot with the wanted direction to anchor the scan.
 	anchor := -1
 	for t := 0; t < n; t++ {
@@ -373,32 +426,39 @@ func distanceToDirection(gaps []int64, dirBySlot []Direction, want Direction, cw
 		for i := range res {
 			res[i] = -1
 		}
-		return res
+		return
 	}
 	if cw {
 		// Process slots walking backwards from the anchor so that the value
 		// of each slot's clockwise successor is already known.
+		next := anchor
 		for k := 1; k <= n; k++ {
-			t := ((anchor-k)%n + n) % n
-			next := (t + 1) % n
+			t := next - 1
+			if t < 0 {
+				t += n
+			}
 			if dirBySlot[next] == want {
 				res[t] = gaps[t]
 			} else {
 				res[t] = gaps[t] + res[next]
 			}
+			next = t
 		}
-		return res
+		return
 	}
 	// Anticlockwise walk: each slot's value depends on its anticlockwise
 	// predecessor, so process slots walking forwards from the anchor.
+	prev := anchor
 	for k := 1; k <= n; k++ {
-		t := (anchor + k) % n
-		prev := ((t-1)%n + n) % n
+		t := prev + 1
+		if t == n {
+			t = 0
+		}
 		if dirBySlot[prev] == want {
 			res[t] = gaps[prev]
 		} else {
 			res[t] = gaps[prev] + res[prev]
 		}
+		prev = t
 	}
-	return res
 }

@@ -318,3 +318,62 @@ func TestFullCircleAndAccessors(t *testing.T) {
 		t.Error("Gaps aliases internal state")
 	}
 }
+
+// TestExecuteRoundIntoReusesBuffers verifies that the allocation-free round
+// path produces exactly the same observations as the allocating one, across
+// many rounds with a shared reused Outcome (stale Coll/Collided must be
+// cleared), and that Clone does not share scratch buffers.
+func TestExecuteRoundIntoReusesBuffers(t *testing.T) {
+	a := mustState(t, basicConfig([]int64{0, 100, 300, 600}))
+	b := a.Clone()
+	dirSets := [][]Direction{
+		{Clockwise, Anticlockwise, Clockwise, Anticlockwise},
+		{Clockwise, Clockwise, Clockwise, Clockwise}, // nobody collides
+		{Anticlockwise, Clockwise, Anticlockwise, Clockwise},
+		{Anticlockwise, Anticlockwise, Anticlockwise, Anticlockwise},
+	}
+	var reused Outcome
+	for round, dirs := range dirSets {
+		if err := a.ExecuteRoundInto(dirs, &reused); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		fresh, err := b.ExecuteRound(dirs)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if reused.Rotation != fresh.Rotation {
+			t.Fatalf("round %d rotation: %d vs %d", round, reused.Rotation, fresh.Rotation)
+		}
+		for i := range fresh.Agents {
+			if reused.Agents[i] != fresh.Agents[i] {
+				t.Fatalf("round %d agent %d: %+v vs %+v", round, i, reused.Agents[i], fresh.Agents[i])
+			}
+		}
+	}
+}
+
+// TestCloneIndependentAfterRounds runs rounds on a state and its clone
+// independently and checks they do not interfere through shared scratch.
+func TestCloneIndependentAfterRounds(t *testing.T) {
+	a := mustState(t, basicConfig([]int64{0, 100, 300, 600}))
+	if _, err := a.ExecuteRound([]Direction{Clockwise, Anticlockwise, Clockwise, Anticlockwise}); err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	outA, err := a.ExecuteRound([]Direction{Clockwise, Clockwise, Anticlockwise, Clockwise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outC, err := c.ExecuteRound([]Direction{Clockwise, Clockwise, Anticlockwise, Clockwise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outA.Agents {
+		if outA.Agents[i] != outC.Agents[i] {
+			t.Fatalf("agent %d: %+v vs %+v", i, outA.Agents[i], outC.Agents[i])
+		}
+	}
+	if a.Rounds() != 2 || c.Rounds() != 2 {
+		t.Fatalf("rounds: %d and %d", a.Rounds(), c.Rounds())
+	}
+}

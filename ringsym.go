@@ -28,6 +28,7 @@
 package ringsym
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -182,7 +183,15 @@ func (n *Network) Engine() *engine.Network { return n.nw }
 // Run executes a custom per-agent protocol on every agent concurrently and
 // returns the outputs by ring index together with the number of rounds used.
 func Run[T any](n *Network, protocol func(a *Agent) (T, error)) ([]T, int, error) {
-	res, err := engine.Run(n.nw, protocol)
+	return RunContext(context.Background(), n, protocol)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, the in-flight
+// round is aborted and every agent's pending Round call returns an error
+// wrapping ctx.Err() within one round, instead of the run continuing until
+// the protocol terminates or the round bound is hit.
+func RunContext[T any](ctx context.Context, n *Network, protocol func(a *Agent) (T, error)) ([]T, int, error) {
+	res, err := engine.RunContext(ctx, n.nw, protocol)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -225,8 +234,14 @@ type CoordinationResult struct {
 // move, direction agreement, leader election) on every agent and verifies
 // that exactly one leader was elected.
 func (n *Network) Coordinate(opts CoordinationOptions) (*CoordinationResult, error) {
+	return n.CoordinateContext(context.Background(), opts)
+}
+
+// CoordinateContext is Coordinate with cancellation: a cancelled ctx aborts
+// the pipeline within one round.
+func (n *Network) CoordinateContext(ctx context.Context, opts CoordinationOptions) (*CoordinationResult, error) {
 	usePerceptive := n.Model() == Perceptive && !opts.DisablePerceptiveAlgorithms && !opts.CommonSense
-	outputs, rounds, err := Run(n, func(a *Agent) (*core.Coordination, error) {
+	outputs, rounds, err := RunContext(ctx, n, func(a *Agent) (*core.Coordination, error) {
 		if usePerceptive {
 			return perceptive.Coordinate(a, perceptive.Options{Seed: opts.Seed})
 		}
@@ -294,8 +309,14 @@ type DiscoveryResult struct {
 // for the network's model and parity (Lemma 16 or Theorem 42) and verifies
 // every agent's answer against the simulator's ground truth.
 func (n *Network) DiscoverLocations(opts DiscoveryOptions) (*DiscoveryResult, error) {
+	return n.DiscoverLocationsContext(context.Background(), opts)
+}
+
+// DiscoverLocationsContext is DiscoverLocations with cancellation: a
+// cancelled ctx aborts the protocol within one round.
+func (n *Network) DiscoverLocationsContext(ctx context.Context, opts DiscoveryOptions) (*DiscoveryResult, error) {
 	start := n.nw.CurrentPositions()
-	outputs, rounds, err := Run(n, func(a *Agent) (*discovery.Result, error) {
+	outputs, rounds, err := RunContext(ctx, n, func(a *Agent) (*discovery.Result, error) {
 		return discovery.LocationDiscovery(a, discovery.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package ringsym_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -172,5 +173,50 @@ func TestLowerBoundHelper(t *testing.T) {
 func TestRandomNetworkValidation(t *testing.T) {
 	if _, err := ringsym.RandomNetwork(ringsym.RandomConfig{N: 1}); err == nil {
 		t.Error("N=1 accepted")
+	}
+}
+
+// TestCoordinateContextCancelled verifies that the public facade surfaces a
+// context cancellation from inside the coordination pipeline.
+func TestCoordinateContextCancelled(t *testing.T) {
+	nw, err := ringsym.RandomNetwork(ringsym.RandomConfig{N: 8, Seed: 3, MixedChirality: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := nw.CoordinateContext(ctx, ringsym.CoordinationOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The network is still usable with a live context afterwards.
+	if _, err := nw.Coordinate(ringsym.CoordinationOptions{}); err != nil {
+		t.Fatalf("coordinate after cancelled attempt: %v", err)
+	}
+}
+
+// TestRunContextCancelMidProtocol cancels a custom protocol that would never
+// terminate and checks the run is cut short.
+func TestRunContextCancelMidProtocol(t *testing.T) {
+	nw, err := ringsym.RandomNetwork(ringsym.RandomConfig{N: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err = ringsym.RunContext(ctx, nw, func(a *ringsym.Agent) (int, error) {
+		for {
+			if a.RoundsUsed() == 5 && a.ID()%2 == 1 {
+				cancel()
+			}
+			if _, err := a.Round(ringsym.Clockwise); err != nil {
+				return a.RoundsUsed(), err
+			}
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if nw.Rounds() > 100 {
+		t.Fatalf("cancellation did not interrupt promptly: %d rounds", nw.Rounds())
 	}
 }
