@@ -299,6 +299,43 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 	b.Run("sequential", func(b *testing.B) { run(b, 1) })
 	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+
+	// Symmetric-heavy variant: every setting appears in 8 outcome-equivalent
+	// framings (4 phases × 2 reflections).  The cached run canonicalizes each
+	// scenario and computes one representative per orbit (internal/canon +
+	// internal/memo), so the cached-vs-uncached records/sec ratio is the
+	// symmetry-dedup speedup recorded in EXPERIMENTS.md.
+	symmetric, err := campaign.Matrix{
+		Sizes:       []int{8, 12},
+		Seeds:       []int64{1, 2, 3},
+		Phases:      []int{0, 1, 2, 3},
+		Reflections: []bool{false, true},
+	}.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSym := func(b *testing.B, cached bool) {
+		for i := 0; i < b.N; i++ {
+			opts := campaign.Options{}
+			if cached {
+				// A fresh cache per iteration: the measured ratio is the
+				// within-sweep dedup win, not a warm-cache artifact.
+				opts.Cache = campaign.NewCache(0)
+			}
+			recs, err := campaign.RunAll(context.Background(), symmetric, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, rec := range recs {
+				if rec.Status == campaign.StatusFailed {
+					b.Fatalf("%s: %s", rec.Key(), rec.Error)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(len(symmetric))/b.Elapsed().Seconds(), "records/sec")
+	}
+	b.Run("symmetric-uncached", func(b *testing.B) { runSym(b, false) })
+	b.Run("symmetric-cached", func(b *testing.B) { runSym(b, true) })
 }
 
 // benchEngineRound measures the raw cost of a single synchronised round

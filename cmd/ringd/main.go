@@ -1,0 +1,132 @@
+// Command ringd is the scenario-serving daemon: a long-lived HTTP server
+// that executes ring-network scenarios on demand, batching all requests onto
+// one bounded worker pool and (by default) deduplicating symmetric scenarios
+// through the canonical memo cache — rotations, reflections and frame
+// translations of one ring are a single computation.
+//
+// Usage:
+//
+//	ringd                              # serve on :8080 with the cache on
+//	ringd -addr 127.0.0.1:9090 -cache off
+//	ringd -cache 100000 -workers 8     # cache bounded to ~100k outcomes
+//
+// Endpoints (see internal/serve):
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+//	curl -s -X POST localhost:8080/v1/run -d '{"task":"coordinate","model":"basic","n":8,"seed":1}'
+//	curl -s -X POST localhost:8080/v1/campaign -d '{"sizes":[8,16],"seeds":[1,2,3]}'
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops,
+// in-flight requests get a drain window, and the worker pool exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ringsym/internal/campaign"
+	"ringsym/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ringd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "scenario worker-pool size (default GOMAXPROCS)")
+	cacheFlag := flag.String("cache", "on", "memo cache: on, off, or a capacity in entries (each entry is O(n) memory)")
+	circ := flag.Int64("circ", 0, "ring circumference in ticks (default netgen's 1<<20)")
+	maxRounds := flag.Int("maxrounds", 0, "round bound on runaway protocols (default engine's)")
+	maxN := flag.Int("maxn", 0, "largest network size a request may ask for (default 4096)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	if *workers < 0 {
+		usageError(fmt.Errorf("invalid -workers %d (must be >= 0; 0 means GOMAXPROCS)", *workers))
+	}
+	if *maxN < 0 {
+		usageError(fmt.Errorf("invalid -maxn %d (must be >= 0; 0 means the default of 4096)", *maxN))
+	}
+	if *circ < 0 {
+		usageError(fmt.Errorf("invalid -circ %d (must be >= 0; 0 means the netgen default)", *circ))
+	}
+	if *maxRounds < 0 {
+		usageError(fmt.Errorf("invalid -maxrounds %d (must be >= 0; 0 means the engine default)", *maxRounds))
+	}
+	if *drain < 0 {
+		usageError(fmt.Errorf("invalid -drain %v (must be >= 0)", *drain))
+	}
+	cache, err := campaign.ParseCacheFlag(*cacheFlag)
+	if err != nil {
+		usageError(err)
+	}
+
+	pool := serve.New(serve.Options{
+		Workers:   *workers,
+		Cache:     cache,
+		Circ:      *circ,
+		MaxRounds: *maxRounds,
+		MaxN:      *maxN,
+	})
+	// No WriteTimeout here: it would cap the total duration of a streaming
+	// /v1/campaign response; internal/serve bounds each record write with
+	// its own deadline instead, so only stalled clients are cut off.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           pool.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	cacheState := "off"
+	if cache != nil {
+		cacheState = "on"
+	}
+	log.Printf("serving on %s (cache %s)", *addr, cacheState)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down (drain %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			// Shutdown leaves active connections (and their request
+			// contexts) alive, which would park pool.Close in wg.Wait for
+			// as long as the slowest in-flight scenario keeps running;
+			// force-close so the contexts cancel and the engine aborts
+			// within one round.
+			log.Printf("drain window expired (%v); closing active connections", err)
+			srv.Close()
+		}
+		pool.Close()
+		if cache != nil {
+			st := cache.Stats()
+			log.Printf("cache at exit: %d entries, %d hits, %d misses, %d dedups, %d evictions",
+				st.Entries, st.Hits, st.Misses, st.Dedups, st.Evictions)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}
+
+func usageError(err error) {
+	fmt.Fprintf(os.Stderr, "ringd: %v\n\n", err)
+	flag.Usage()
+	os.Exit(2)
+}

@@ -13,6 +13,14 @@
 //	ringfarm -models perceptive -tasks discover -sizes 64 -seeds 1:100
 //	ringfarm -spec sweep.json -shard 0/4 -out sweep-shard0/
 //	ringfarm -sizes 16 -dryrun          # list the scenarios and exit
+//	ringfarm -sizes 16 -phases 0:7 -reflect -cache on
+//
+// With -cache on (or -cache <capacity>), scenario outcomes are memoised
+// under their canonical symmetry key (internal/canon): rotations,
+// reflections and frame translations of one ring — such as the variants a
+// -phases/-reflect sweep enumerates — are computed once and the summary
+// artefacts gain per-setting miss/hit/dedup columns.  The default -cache off
+// keeps the artefacts byte-identical to cache-less builds.
 //
 // A spec file is the JSON form of the matrix, e.g.:
 //
@@ -50,9 +58,12 @@ func main() {
 	commonSense := flag.String("commonsense", "", "comma-separated common-sense flags: false,true (default false)")
 	sizes := flag.String("sizes", "", "comma-separated network sizes n (default 16,32)")
 	seeds := flag.String("seeds", "", "seeds, as a list 1,2,3 or a range 1:100 (default 1)")
+	phases := flag.String("phases", "", "ring-rotation phases, as a list 0,1,2 or a range 0:7 (default 0)")
+	reflect := flag.Bool("reflect", false, "also sweep the mirrored variant of every scenario")
 	idFactor := flag.Int("idfactor", 0, "identifier bound N as a multiple of n (default 4)")
 	shard := flag.String("shard", "", "run only shard i/m of the campaign (e.g. 0/4)")
 	workers := flag.Int("workers", 0, "worker-pool size (default GOMAXPROCS)")
+	cacheFlag := flag.String("cache", "off", "memoise outcomes under their canonical symmetry key: off, on, or a capacity in entries")
 	out := flag.String("out", "ringfarm-out", "output directory for records.jsonl, summary.csv, summary.md")
 	dryrun := flag.Bool("dryrun", false, "print the scenario list and exit without running")
 	quiet := flag.Bool("quiet", false, "suppress the live progress line on stderr")
@@ -71,7 +82,11 @@ func main() {
 	if *idFactor < 0 {
 		usageError(fmt.Errorf("invalid -idfactor %d (must be >= 0; 0 means the default of 4)", *idFactor))
 	}
-	matrix, err := buildMatrix(*spec, *tasks, *models, *parities, *chirality, *commonSense, *sizes, *seeds, *idFactor)
+	cache, err := campaign.ParseCacheFlag(*cacheFlag)
+	if err != nil {
+		usageError(err)
+	}
+	matrix, err := buildMatrix(*spec, *tasks, *models, *parities, *chirality, *commonSense, *sizes, *seeds, *phases, *reflect, *idFactor)
 	if err != nil {
 		usageError(err)
 	}
@@ -94,7 +109,7 @@ func main() {
 		fmt.Printf("%d scenarios (shard %d/%d of %d)\n", len(scenarios), i, m, total)
 		return
 	}
-	if err := runCampaign(scenarios, i, m, total, *workers, *out, *quiet); err != nil {
+	if err := runCampaign(scenarios, i, m, total, *workers, *out, *quiet, cache); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -107,7 +122,7 @@ func usageError(err error) {
 	os.Exit(2)
 }
 
-func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers int, outDir string, quiet bool) error {
+func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers int, outDir string, quiet bool, cache *campaign.Cache) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -126,7 +141,7 @@ func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers i
 	agg := campaign.NewAggregator()
 	start := time.Now()
 	lastProgress := time.Time{}
-	for rec := range campaign.Run(ctx, scenarios, campaign.Options{Workers: workers}) {
+	for rec := range campaign.Run(ctx, scenarios, campaign.Options{Workers: workers, Cache: cache}) {
 		if err := writer.Add(rec); err != nil {
 			return err
 		}
@@ -154,10 +169,19 @@ func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers i
 		return err
 	}
 	defer csvF.Close()
-	if err := campaign.WriteSummaryCSV(csvF, rows); err != nil {
+	// The cache-off artefacts must stay byte-identical to cache-less builds,
+	// so the cache columns are emitted only for cached sweeps.
+	var md string
+	if cache != nil {
+		err = campaign.WriteSummaryCSVCache(csvF, rows)
+		md = campaign.FormatSummaryMarkdownCache(rows)
+	} else {
+		err = campaign.WriteSummaryCSV(csvF, rows)
+		md = campaign.FormatSummaryMarkdown(rows)
+	}
+	if err != nil {
 		return err
 	}
-	md := campaign.FormatSummaryMarkdown(rows)
 	if err := os.WriteFile(filepath.Join(outDir, "summary.md"), []byte(md), 0o644); err != nil {
 		return err
 	}
@@ -168,6 +192,16 @@ func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers i
 		agg.Total, elapsed.Round(time.Millisecond),
 		float64(agg.Total)/elapsed.Seconds(), agg.Wall.Round(time.Millisecond),
 		agg.OK, agg.Failed, agg.Unsolvable)
+	if cache != nil {
+		served := agg.CacheHits + agg.CacheDedups
+		ratio := 0.0
+		if total := agg.CacheMisses + served; total > 0 {
+			ratio = float64(served) / float64(total)
+		}
+		st := cache.Stats()
+		fmt.Printf("cache: %d computed, %d served from symmetry (%d hits + %d dedups, dedup ratio %.1f%%), %d evictions\n",
+			agg.CacheMisses, served, agg.CacheHits, agg.CacheDedups, 100*ratio, st.Evictions)
+	}
 	fmt.Printf("artefacts: %s\n", outDir)
 	if agg.Failed > 0 {
 		return fmt.Errorf("%d scenarios failed (see %s)", agg.Failed, filepath.Join(outDir, "records.jsonl"))
@@ -188,7 +222,7 @@ func effectiveWorkers(w, scenarios int) int {
 }
 
 // buildMatrix assembles the campaign matrix from a spec file or flags.
-func buildMatrix(spec, tasks, models, parities, chirality, commonSense, sizes, seeds string, idFactor int) (campaign.Matrix, error) {
+func buildMatrix(spec, tasks, models, parities, chirality, commonSense, sizes, seeds, phases string, reflect bool, idFactor int) (campaign.Matrix, error) {
 	var m campaign.Matrix
 	if spec != "" {
 		raw, err := os.ReadFile(spec)
@@ -227,8 +261,28 @@ func buildMatrix(spec, tasks, models, parities, chirality, commonSense, sizes, s
 	if err != nil {
 		return m, err
 	}
+	m.Phases, err = parsePhases(phases)
+	if err != nil {
+		return m, err
+	}
+	if reflect {
+		m.Reflections = []bool{false, true}
+	}
 	m.IDBoundFactor = idFactor
 	return m, nil
+}
+
+// parsePhases accepts "0,1,2" or an inclusive range "0:7", like parseSeeds.
+func parsePhases(s string) ([]int, error) {
+	seeds, err := parseSeeds(s)
+	if err != nil {
+		return nil, fmt.Errorf("invalid -phases: %w", err)
+	}
+	out := make([]int, len(seeds))
+	for i, v := range seeds {
+		out[i] = int(v)
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {

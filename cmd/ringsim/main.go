@@ -6,16 +6,25 @@
 //
 //	ringsim -n 16 -model perceptive -mixed -task discover -seed 3
 //	ringsim -n 8 -model lazy -task coordinate
+//	ringsim -n 8 -task coordinate -json | jq .rounds
 //	ringsim -n 6 -task bounce        # dump the collision events of one round
+//
+// With -json the run is emitted as the machine-readable scenario record of
+// the campaign harness (one campaign.Record JSON object, the same shape as a
+// records.jsonl line of cmd/ringfarm), so single runs are scriptable exactly
+// like sweeps.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"ringsym"
+	"ringsym/internal/campaign"
 	"ringsym/internal/netgen"
 	"ringsym/internal/physics"
 	"ringsym/internal/ring"
@@ -30,11 +39,20 @@ func main() {
 	mixed := flag.Bool("mixed", true, "give agents independent random senses of direction")
 	seed := flag.Int64("seed", 1, "seed for the random configuration")
 	task := flag.String("task", "discover", "task to run: coordinate, discover or bounce")
+	jsonOut := flag.Bool("json", false, "emit the run as a machine-readable campaign record (coordinate/discover only)")
 	flag.Parse()
 
 	model, err := parseModel(*modelName)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		if *task != "coordinate" && *task != "discover" {
+			log.Fatalf("-json supports the coordinate and discover tasks, not %q", *task)
+		}
+		runJSON(campaign.Task(*task), *n, *modelName, *mixed, *seed)
+		return
 	}
 
 	switch *task {
@@ -46,6 +64,28 @@ func main() {
 		runBounce(*n, *seed)
 	default:
 		log.Fatalf("unknown task %q", *task)
+	}
+}
+
+// runJSON executes the scenario through the campaign runner — the identical
+// generation and verification path a ringfarm sweep uses — and prints the
+// record as one JSON line.  A failed record still prints (with its error
+// field) but exits nonzero, so scripts can branch on the exit status.
+func runJSON(task campaign.Task, n int, model string, mixed bool, seed int64) {
+	rec := campaign.RunScenario(campaign.Scenario{
+		Task:           task,
+		Model:          strings.ToLower(model),
+		N:              n,
+		IDBound:        4 * n,
+		MixedChirality: mixed,
+		Seed:           seed,
+	}, campaign.Options{})
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(rec); err != nil {
+		log.Fatal(err)
+	}
+	if rec.Status == campaign.StatusFailed {
+		os.Exit(1)
 	}
 }
 

@@ -9,7 +9,9 @@ import (
 )
 
 // GroupKey identifies one setting of the sweep: records sharing a key are
-// aggregated together (seeds are folded, everything else distinguishes).
+// aggregated together (seeds, phases and reflections are folded — symmetric
+// framings of one setting are the same experiment — everything else
+// distinguishes).
 type GroupKey struct {
 	Task           Task   `json:"task"`
 	Model          string `json:"model"`
@@ -43,6 +45,12 @@ type groupStats struct {
 	ratioSum   float64
 	ratioCount int
 	wall       time.Duration
+	// Memo-cache service counts (zero when the cache is disabled).  The
+	// miss count and the hit+dedup sum are deterministic for a fixed sweep;
+	// the hit/dedup split depends on worker scheduling.
+	cacheMisses int
+	cacheHits   int
+	cacheDedups int
 }
 
 // Aggregator folds a record stream into per-group statistics without
@@ -56,6 +64,13 @@ type Aggregator struct {
 	Failed     int
 	Unsolvable int
 	Wall       time.Duration
+	// Cache totals over the whole stream (zero when the cache is disabled).
+	// The summary writers emit cache columns only when explicitly asked (the
+	// *Cache variants): a cached sweep must produce a stable artefact schema
+	// even when no record happened to touch the cache (e.g. all unsolvable).
+	CacheMisses int
+	CacheHits   int
+	CacheDedups int
 }
 
 // NewAggregator returns an empty aggregator.
@@ -75,6 +90,17 @@ func (a *Aggregator) Add(rec Record) {
 	}
 	g.count++
 	g.wall += rec.Wall
+	switch rec.Cache {
+	case "miss":
+		a.CacheMisses++
+		g.cacheMisses++
+	case "hit":
+		a.CacheHits++
+		g.cacheHits++
+	case "dedup":
+		a.CacheDedups++
+		g.cacheDedups++
+	}
 	switch rec.Status {
 	case StatusFailed:
 		a.Failed++
@@ -115,6 +141,11 @@ type SummaryRow struct {
 	P99Rounds  int     `json:"p99_rounds"`
 	// BoundRatio is the mean observed/bound ratio (0 when no bound applies).
 	BoundRatio float64 `json:"bound_ratio"`
+	// Memo-cache service counts for the group (all zero when the cache was
+	// disabled; see Record.Cache for the determinism contract).
+	CacheMisses int `json:"cache_misses,omitempty"`
+	CacheHits   int `json:"cache_hits,omitempty"`
+	CacheDedups int `json:"cache_dedups,omitempty"`
 }
 
 // Summary returns one row per group, deterministically ordered.
@@ -128,10 +159,13 @@ func (a *Aggregator) Summary() []SummaryRow {
 	for _, k := range keys {
 		g := a.groups[k]
 		row := SummaryRow{
-			GroupKey:   k,
-			Count:      g.count,
-			Failed:     g.failed,
-			Unsolvable: g.unsolvable,
+			GroupKey:    k,
+			Count:       g.count,
+			Failed:      g.failed,
+			Unsolvable:  g.unsolvable,
+			CacheMisses: g.cacheMisses,
+			CacheHits:   g.cacheHits,
+			CacheDedups: g.cacheDedups,
 		}
 		ok := g.count - g.failed - g.unsolvable
 		if ok > 0 {
@@ -212,18 +246,40 @@ func (k GroupKey) label() (parity, chir, cs string) {
 }
 
 // WriteSummaryCSV writes the summary rows as CSV.  Output is deterministic
-// for a fixed record multiset.
+// for a fixed record multiset and byte-identical across cache-less builds.
 func WriteSummaryCSV(w io.Writer, rows []SummaryRow) error {
-	if _, err := fmt.Fprintln(w, "task,model,parity,chirality,common_sense,n,count,failed,unsolvable,min_rounds,max_rounds,mean_rounds,p50_rounds,p90_rounds,p99_rounds,bound_ratio"); err != nil {
+	return writeSummaryCSV(w, rows, false)
+}
+
+// WriteSummaryCSVCache is WriteSummaryCSV plus the memo-cache service
+// columns (misses, hits, dedups); use it for sweeps that ran with a cache.
+func WriteSummaryCSVCache(w io.Writer, rows []SummaryRow) error {
+	return writeSummaryCSV(w, rows, true)
+}
+
+func writeSummaryCSV(w io.Writer, rows []SummaryRow, cache bool) error {
+	header := "task,model,parity,chirality,common_sense,n,count,failed,unsolvable,min_rounds,max_rounds,mean_rounds,p50_rounds,p90_rounds,p99_rounds,bound_ratio"
+	if cache {
+		header += ",cache_misses,cache_hits,cache_dedups"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		parity, chir, cs := r.GroupKey.label()
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%.4f\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%.4f",
 			r.Task, r.Model, parity, chir, cs, r.N,
 			r.Count, r.Failed, r.Unsolvable,
 			r.MinRounds, r.MaxRounds, r.MeanRounds,
 			r.P50Rounds, r.P90Rounds, r.P99Rounds, r.BoundRatio); err != nil {
+			return err
+		}
+		if cache {
+			if _, err := fmt.Fprintf(w, ",%d,%d,%d", r.CacheMisses, r.CacheHits, r.CacheDedups); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
 	}
@@ -232,16 +288,38 @@ func WriteSummaryCSV(w io.Writer, rows []SummaryRow) error {
 
 // FormatSummaryMarkdown renders the summary rows as a Markdown table.
 func FormatSummaryMarkdown(rows []SummaryRow) string {
+	return formatSummaryMarkdown(rows, false)
+}
+
+// FormatSummaryMarkdownCache is FormatSummaryMarkdown plus the memo-cache
+// service columns.
+func FormatSummaryMarkdownCache(rows []SummaryRow) string {
+	return formatSummaryMarkdown(rows, true)
+}
+
+func formatSummaryMarkdown(rows []SummaryRow, cache bool) string {
 	var b strings.Builder
-	b.WriteString("| task | model | parity | chirality | common sense | n | count | failed | unsolvable | min | max | mean | p50 | p90 | p99 | obs/bound |\n")
-	b.WriteString("|---|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	b.WriteString("| task | model | parity | chirality | common sense | n | count | failed | unsolvable | min | max | mean | p50 | p90 | p99 | obs/bound |")
+	if cache {
+		b.WriteString(" miss | hit | dedup |")
+	}
+	b.WriteString("\n")
+	b.WriteString("|---|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+	if cache {
+		b.WriteString("---:|---:|---:|")
+	}
+	b.WriteString("\n")
 	for _, r := range rows {
 		parity, chir, cs := r.GroupKey.label()
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %d | %d | %d | %d | %d | %d | %.1f | %d | %d | %d | %.3f |\n",
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %d | %d | %d | %d | %d | %d | %.1f | %d | %d | %d | %.3f |",
 			r.Task, r.Model, parity, chir, cs, r.N,
 			r.Count, r.Failed, r.Unsolvable,
 			r.MinRounds, r.MaxRounds, r.MeanRounds,
 			r.P50Rounds, r.P90Rounds, r.P99Rounds, r.BoundRatio)
+		if cache {
+			fmt.Fprintf(&b, " %d | %d | %d |", r.CacheMisses, r.CacheHits, r.CacheDedups)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

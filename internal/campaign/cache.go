@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+
+	"ringsym/internal/memo"
+)
+
+// Cache memoises scenario outcomes under their canonical symmetry key: two
+// scenarios whose generated networks are rotations, reflections or frame
+// translations of each other (and that share the task, the common-sense
+// promise and the protocol-schedule seed) resolve to the same key, so only
+// the first one is executed and the other is answered from the cache with its
+// outcome translated back through the frame map.  Concurrent workers that
+// race on the same key are collapsed by singleflight, and a scenario nobody
+// is waiting for any more is cancelled within one engine round.
+//
+// A Cache is safe for concurrent use and may be shared across sweeps and, in
+// the serving daemon, across requests.
+type Cache struct {
+	c *memo.Cache[cachedOutcome]
+}
+
+// NewCache returns a cache bounded to roughly capacity outcomes (<= 0 selects
+// the memo default).  The bound counts entries, not bytes: one cached outcome
+// holds the per-agent stage splits of its whole ring, so resident memory is
+// O(capacity × n) — size the capacity against the largest n served (e.g.
+// ringd's -maxn), not against available memory alone.
+func NewCache(capacity int) *Cache {
+	return &Cache{c: memo.New[cachedOutcome](capacity)}
+}
+
+// Stats returns a snapshot of the hit/miss/dedup/eviction counters.
+func (c *Cache) Stats() memo.Stats { return c.c.Stats() }
+
+// ParseCacheFlag maps a CLI -cache flag value to a cache: "off" disables it
+// (nil), "on" enables it with the default bound, and a positive integer sets
+// the capacity.  Shared by cmd/ringfarm and cmd/ringd so the flag semantics
+// cannot diverge between the two.
+func ParseCacheFlag(s string) (*Cache, error) {
+	switch s {
+	case "off":
+		return nil, nil
+	case "on":
+		return NewCache(0), nil
+	}
+	capacity, err := strconv.Atoi(s)
+	if err != nil || capacity <= 0 {
+		return nil, fmt.Errorf("campaign: invalid cache setting %q (want on, off, or a positive capacity)", s)
+	}
+	return NewCache(capacity), nil
+}
+
+// agentSplit is one agent's per-stage round split, stored for every agent of
+// the canonical run so a cache hit can report the splits of the original
+// frame's agent 0, whatever canonical index it landed on.
+type agentSplit struct {
+	Nontrivial, Agreement, Leader int // coordinate stages
+	Coordination, Discovery       int // discover stages
+}
+
+// cachedOutcome is the frame-independent outcome of one verified scenario
+// run, with per-agent data indexed in the canonical frame.
+type cachedOutcome struct {
+	Rounds   int
+	LeaderID int
+	PerAgent []agentSplit
+}
+
+// cacheKey composes the canonical configuration fingerprint with the
+// task-level inputs that select the protocol pipeline and its pseudo-random
+// schedules.  Everything else that influences the outcome (model, sizes,
+// identifiers, chirality, circumference, round bound) is already part of the
+// fingerprint.
+func cacheKey(fingerprint string, sc Scenario) string {
+	return fmt.Sprintf("%s|task=%s|cs=%t|seed=%d", fingerprint, sc.Task, sc.CommonSense, sc.Seed)
+}
+
+// fill populates the outcome fields of a record from a (possibly memoised)
+// canonical outcome; idx0 is the canonical index of the original frame's ring
+// index 0, whose per-stage splits the record reports.
+func (rec *Record) fill(out cachedOutcome, idx0 int) {
+	rec.Rounds = out.Rounds
+	rec.LeaderID = out.LeaderID
+	sp := out.PerAgent[idx0]
+	switch rec.Task {
+	case TaskCoordinate:
+		rec.RoundsNontrivial = sp.Nontrivial
+		rec.RoundsAgreement = sp.Agreement
+		rec.RoundsLeader = sp.Leader
+	case TaskDiscover:
+		rec.RoundsCoordination = sp.Coordination
+		rec.RoundsDiscovery = sp.Discovery
+	}
+	rec.Status = StatusOK
+	rec.Verified = true
+}

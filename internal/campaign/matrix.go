@@ -71,6 +71,15 @@ type Scenario struct {
 	CommonSense bool `json:"common_sense"`
 	// Seed drives the network generation and the pseudo-random schedules.
 	Seed int64 `json:"seed"`
+	// Phase rotates the generated ring so the agent with ring index Phase
+	// (mod n) leads the frame; the scenario is a symmetric variant of the
+	// Phase 0 scenario with an identical outcome (see internal/canon), which
+	// the memo cache deduplicates.  Taken modulo n at run time.
+	Phase int `json:"phase,omitempty"`
+	// Reflect mirrors the generated ring (reversing the global orientation
+	// and flipping every chirality bit); like Phase, a reflected scenario is
+	// outcome-equivalent to its unreflected twin.
+	Reflect bool `json:"reflect,omitempty"`
 }
 
 // Key returns a compact human-readable label for the scenario.
@@ -83,7 +92,14 @@ func (s Scenario) Key() string {
 	if s.CommonSense {
 		cs = " cs"
 	}
-	return fmt.Sprintf("%s/%s/n=%d/%s%s/seed=%d", s.Task, s.Model, s.N, chir, cs, s.Seed)
+	sym := ""
+	if s.Phase != 0 || s.Reflect {
+		sym = fmt.Sprintf("/ph=%d", s.Phase)
+		if s.Reflect {
+			sym += "r"
+		}
+	}
+	return fmt.Sprintf("%s/%s/n=%d/%s%s/seed=%d%s", s.Task, s.Model, s.N, chir, cs, s.Seed, sym)
 }
 
 // Matrix declares a scenario sweep as a cross-product of axes.  Zero-valued
@@ -109,6 +125,14 @@ type Matrix struct {
 	Sizes []int `json:"sizes,omitempty"`
 	// Seeds for network generation and schedules; defaults to {1}.
 	Seeds []int64 `json:"seeds,omitempty"`
+	// Phases are ring-rotation offsets applied to the generated network
+	// (see Scenario.Phase); defaults to {0}.  Non-trivial phases make the
+	// sweep symmetric-heavy: every phase of a setting is outcome-equivalent,
+	// which the memo cache collapses to one computation.
+	Phases []int `json:"phases,omitempty"`
+	// Reflections are the mirror variants to sweep (see Scenario.Reflect);
+	// defaults to {false}.
+	Reflections []bool `json:"reflections,omitempty"`
 	// IDBoundFactor sets the identifier bound N = IDBoundFactor·n;
 	// defaults to 4.
 	IDBoundFactor int `json:"id_bound_factor,omitempty"`
@@ -135,6 +159,12 @@ func (m Matrix) filled() Matrix {
 	}
 	if len(m.Seeds) == 0 {
 		m.Seeds = []int64{1}
+	}
+	if len(m.Phases) == 0 {
+		m.Phases = []int{0}
+	}
+	if len(m.Reflections) == 0 {
+		m.Reflections = []bool{false}
 	}
 	if m.IDBoundFactor <= 0 {
 		m.IDBoundFactor = 4
@@ -164,7 +194,8 @@ func AdjustParity(n int, odd bool) int {
 }
 
 // Expand enumerates the cross-product of the matrix axes in a fixed nesting
-// order (task, model, parity, chirality, common sense, size, seed) and
+// order (task, model, parity, chirality, common sense, size, seed, phase,
+// reflection) and
 // returns the scenario list with indices assigned in that order.  The
 // contradictory combination common-sense × mixed chirality is skipped.
 // Expansion is deterministic: the same matrix always yields the same list.
@@ -206,16 +237,22 @@ func (m Matrix) Expand() ([]Scenario, error) {
 								return nil, fmt.Errorf("campaign: size %d too small (the paper needs n > 4)", size)
 							}
 							for _, seed := range f.Seeds {
-								out = append(out, Scenario{
-									Index:          len(out),
-									Task:           task,
-									Model:          strings.ToLower(model),
-									N:              n,
-									IDBound:        f.IDBoundFactor * n,
-									MixedChirality: mixed,
-									CommonSense:    cs,
-									Seed:           seed,
-								})
+								for _, phase := range f.Phases {
+									for _, refl := range f.Reflections {
+										out = append(out, Scenario{
+											Index:          len(out),
+											Task:           task,
+											Model:          strings.ToLower(model),
+											N:              n,
+											IDBound:        f.IDBoundFactor * n,
+											MixedChirality: mixed,
+											CommonSense:    cs,
+											Seed:           seed,
+											Phase:          phase,
+											Reflect:        refl,
+										})
+									}
+								}
 							}
 						}
 					}
@@ -224,6 +261,45 @@ func (m Matrix) Expand() ([]Scenario, error) {
 		}
 	}
 	return out, nil
+}
+
+// UpperBounds reports conservative pre-expansion bounds for the matrix: the
+// full axis product (>= len(Expand()), which may skip contradictory
+// common-sense × mixed-chirality combinations) and the largest
+// parity-adjusted network size.  Both cost O(axes), not O(product), so a
+// server can reject an abusive sweep spec before Expand allocates anything.
+// The product saturates instead of overflowing.
+func (m Matrix) UpperBounds() (scenarios, maxN int) {
+	f := m.filled()
+	const saturated = int(^uint(0) >> 1) // MaxInt
+	product := int64(1)
+	for _, axis := range []int{
+		len(f.Tasks), len(f.Models), len(f.Parities), len(f.Chirality),
+		len(f.CommonSense), len(f.Sizes), len(f.Seeds), len(f.Phases), len(f.Reflections),
+	} {
+		if axis == 0 { // unreachable after filled(); kept for exported-API safety
+			product = 0
+			break
+		}
+		// Saturate BEFORE multiplying: a wrap past MaxInt64 would turn the
+		// bound negative and wave an abusive spec through the cap.
+		if product > int64(saturated)/int64(axis) {
+			product = int64(saturated)
+			break
+		}
+		product *= int64(axis)
+	}
+	for _, size := range f.Sizes {
+		for _, parity := range f.Parities {
+			// A matrix restricted to one parity must not be bounded by the
+			// other's +1 adjustment (a sizes=[4096] parities=[even] sweep
+			// contains n=4096, not 4097).
+			if n := AdjustParity(size, parity == ParityOdd); n > maxN {
+				maxN = n
+			}
+		}
+	}
+	return int(product), maxN
 }
 
 // Shard returns the i-th of m contiguous blocks of the scenario list

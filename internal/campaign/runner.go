@@ -9,7 +9,11 @@ import (
 	"time"
 
 	"ringsym"
+	"ringsym/internal/canon"
+	"ringsym/internal/engine"
+	"ringsym/internal/memo"
 	"ringsym/internal/netgen"
+	"ringsym/internal/ring"
 )
 
 // Status classifies how a scenario run ended.
@@ -54,6 +58,13 @@ type Record struct {
 	// Bound and BoundStr give the paper's bound for the task's total cost.
 	Bound    float64 `json:"bound"`
 	BoundStr string  `json:"bound_str"`
+	// Cache reports how the memo cache served this record ("miss", "hit" or
+	// "dedup"); empty — and absent from the JSON — when the cache is
+	// disabled.  Which duplicate of an orbit is the miss and whether a
+	// duplicate arrives as a hit or an in-flight dedup depend on worker
+	// scheduling; the per-orbit totals (one miss, the rest hits+dedups) are
+	// deterministic.
+	Cache string `json:"cache,omitempty"`
 	// Wall is the measured wall-clock cost of the scenario.  Excluded from
 	// JSON so that exports stay deterministic.
 	Wall time.Duration `json:"-"`
@@ -67,6 +78,12 @@ type Options struct {
 	Circ int64
 	// MaxRounds aborts runaway protocols; 0 uses the engine default.
 	MaxRounds int
+	// Cache, when non-nil, memoises outcomes under their canonical symmetry
+	// key (see internal/canon): symmetric duplicates in the sweep are
+	// answered from the cache and annotated in Record.Cache.  When nil,
+	// every scenario executes from scratch and records carry no cache
+	// annotation, byte-identical to a cache-less build.
+	Cache *Cache
 }
 
 // testHookScenario, when set, runs inside the worker just before a scenario
@@ -89,6 +106,9 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 	}
 	out := make(chan Record)
 	feed := make(chan Scenario)
+	if opts.Cache != nil {
+		scenarios = DecorrelateOrbits(scenarios)
+	}
 	go func() {
 		defer close(feed)
 		for _, sc := range scenarios {
@@ -126,6 +146,42 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 		close(out)
 	}()
 	return out
+}
+
+// decorrelateWindow is the reorder horizon of DecorrelateOrbits: scenarios
+// move only within a window of this many feed slots.  Large enough to hold
+// many distinct orbits per window (framings per orbit are typically single
+// digits), small enough that index-ordered consumers (OrderedWriter) buffer
+// at most one window of out-of-order records instead of the whole sweep.
+const decorrelateWindow = 256
+
+// DecorrelateOrbits reorders a cached sweep's feed so symmetric framings of
+// one orbit are spread apart instead of adjacent: Expand nests phase and
+// reflection innermost, so a block of consecutive scenarios is one orbit,
+// and feeding it to concurrent workers would serialise the pool on the
+// singleflight lock (one worker computes the representative while the rest
+// join the in-flight call and idle).  Within each window, untransformed
+// framings go first: distinct orbits compute in parallel and the transformed
+// framings become plain hits.  The reorder is deterministic, bounded to
+// decorrelateWindow feed slots, and records keep their original Index, so
+// exports, aggregation and sharding semantics are untouched — only the
+// completion order (already unspecified) changes.
+func DecorrelateOrbits(scenarios []Scenario) []Scenario {
+	sorted := append([]Scenario(nil), scenarios...)
+	for lo := 0; lo < len(sorted); lo += decorrelateWindow {
+		hi := lo + decorrelateWindow
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		chunk := sorted[lo:hi]
+		sort.SliceStable(chunk, func(i, j int) bool {
+			if chunk[i].Phase != chunk[j].Phase {
+				return chunk[i].Phase < chunk[j].Phase
+			}
+			return !chunk[i].Reflect && chunk[j].Reflect
+		})
+	}
+	return sorted
 }
 
 // RunAll runs the scenarios and returns all records sorted by scenario
@@ -183,6 +239,103 @@ func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Rec
 		return rec
 	}
 
+	if sc.Task != TaskCoordinate && sc.Task != TaskDiscover {
+		rec.Status = StatusFailed
+		rec.Error = fmt.Sprintf("campaign: unknown task %q", sc.Task)
+		return rec
+	}
+
+	gen, err := generateConfig(sc, opts, model)
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		return rec
+	}
+
+	if opts.Cache == nil {
+		out, err := runConfig(ctx, gen, sc)
+		if err != nil {
+			rec.Status = StatusFailed
+			rec.Error = err.Error()
+			return rec
+		}
+		rec.fill(out, 0) // identity frame: agent 0 is canonical index 0
+		return rec
+	}
+
+	// Cached path: run the canonical representative of the configuration's
+	// orbit (so every orbit member computes the identical stored outcome) and
+	// translate the result back into this scenario's frame.
+	ccfg, m, err := canon.Canonicalize(gen)
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		return rec
+	}
+	out, kind, err := opts.Cache.c.Do(ctx, cacheKey(canon.Fingerprint(ccfg), sc), func(cctx context.Context) (cachedOutcome, error) {
+		return runConfig(cctx, ccfg, sc)
+	})
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		return rec
+	}
+	rec.fill(out, m.CanonIndex(0))
+	rec.Cache = kind.String()
+	return rec
+}
+
+// ProbeCache answers a scenario purely from the memo cache: it returns the
+// record (annotated as a hit) when the outcome of the scenario's canonical
+// representative is already cached, and ok=false otherwise — when the cache
+// is nil, the scenario is unsolvable/invalid (those paths never touch the
+// cache), or the outcome simply is not there yet.  Nothing executes and no
+// singleflight computation is joined, so a serving layer can answer hits on
+// the request goroutine without occupying a pool worker; every false falls
+// through to RunScenarioContext, which repeats this preparation and handles
+// all error reporting.  The repeat is deliberate: generation plus
+// canonicalization costs microseconds against a protocol run's milliseconds,
+// and threading a prepared config into the worker path would couple the two
+// call sites for a rounding-error saving on the (uncached) slow path.
+func ProbeCache(sc Scenario, opts Options) (Record, bool) {
+	if opts.Cache == nil {
+		return Record{}, false
+	}
+	model, err := ParseModel(sc.Model)
+	if err != nil {
+		return Record{}, false
+	}
+	if sc.Task == TaskDiscover && !Solvable(model, sc.N%2 == 1, LocationDiscovery) {
+		return Record{}, false
+	}
+	if sc.Task != TaskCoordinate && sc.Task != TaskDiscover {
+		return Record{}, false
+	}
+	gen, err := generateConfig(sc, opts, model)
+	if err != nil {
+		return Record{}, false
+	}
+	ccfg, m, err := canon.Canonicalize(gen)
+	if err != nil {
+		return Record{}, false
+	}
+	out, ok := opts.Cache.c.Get(cacheKey(canon.Fingerprint(ccfg), sc))
+	if !ok {
+		return Record{}, false
+	}
+	rec := Record{Scenario: sc}
+	rec.Bound, rec.BoundStr = boundFor(sc, model)
+	rec.fill(out, m.CanonIndex(0))
+	rec.Cache = memo.Hit.String()
+	return rec, true
+}
+
+// generateConfig builds the scenario's (possibly phase-rotated/reflected)
+// network configuration.  It is the single source of generation truth for
+// both the execution path (RunScenarioContext) and the cache probe
+// (ProbeCache): with one copy, the canonical key the probe computes cannot
+// drift from the key the worker stores under when generation inputs change.
+func generateConfig(sc Scenario, opts Options, model ring.Model) (engine.Config, error) {
 	gen, err := netgen.Generate(netgen.Options{
 		N:                   sc.N,
 		IDBound:             sc.IDBound,
@@ -194,10 +347,19 @@ func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Rec
 		MaxRounds:           opts.MaxRounds,
 	})
 	if err != nil {
-		rec.Status = StatusFailed
-		rec.Error = err.Error()
-		return rec
+		return engine.Config{}, err
 	}
+	if sc.Phase != 0 || sc.Reflect {
+		return canon.Transform(gen, sc.Phase, sc.Reflect)
+	}
+	return gen, nil
+}
+
+// runConfig executes the scenario's task pipeline on the given configuration
+// through the public facade (which verifies the outcome against the
+// simulator's ground truth) and collects the frame-independent outcome with
+// per-agent stage splits for every ring index.
+func runConfig(ctx context.Context, gen engine.Config, sc Scenario) (cachedOutcome, error) {
 	nw, err := ringsym.NewNetwork(ringsym.Config{
 		Model:         gen.Model,
 		Circumference: gen.Circ,
@@ -208,47 +370,32 @@ func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Rec
 		MaxRounds:     gen.MaxRounds,
 	})
 	if err != nil {
-		rec.Status = StatusFailed
-		rec.Error = err.Error()
-		return rec
+		return cachedOutcome{}, err
 	}
-
 	switch sc.Task {
 	case TaskCoordinate:
 		res, err := nw.CoordinateContext(ctx, ringsym.CoordinationOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
 		if err != nil {
-			rec.Status = StatusFailed
-			rec.Error = err.Error()
-			return rec
+			return cachedOutcome{}, err
 		}
-		a := res.PerAgent[0]
-		rec.Rounds = res.Rounds
-		rec.RoundsNontrivial = a.RoundsNontrivial
-		rec.RoundsAgreement = a.RoundsAgreement
-		rec.RoundsLeader = a.RoundsLeader
-		rec.LeaderID = res.LeaderID
+		out := cachedOutcome{Rounds: res.Rounds, LeaderID: res.LeaderID, PerAgent: make([]agentSplit, len(res.PerAgent))}
+		for i, a := range res.PerAgent {
+			out.PerAgent[i] = agentSplit{Nontrivial: a.RoundsNontrivial, Agreement: a.RoundsAgreement, Leader: a.RoundsLeader}
+		}
+		return out, nil
 	case TaskDiscover:
 		res, err := nw.DiscoverLocationsContext(ctx, ringsym.DiscoveryOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
 		if err != nil {
-			rec.Status = StatusFailed
-			rec.Error = err.Error()
-			return rec
+			return cachedOutcome{}, err
 		}
-		a := res.PerAgent[0]
-		rec.Rounds = res.Rounds
-		rec.RoundsCoordination = a.RoundsCoordination
-		rec.RoundsDiscovery = a.RoundsDiscovery
-		for _, pa := range res.PerAgent {
-			if pa.IsLeader {
-				rec.LeaderID = pa.ID
+		out := cachedOutcome{Rounds: res.Rounds, PerAgent: make([]agentSplit, len(res.PerAgent))}
+		for i, a := range res.PerAgent {
+			out.PerAgent[i] = agentSplit{Coordination: a.RoundsCoordination, Discovery: a.RoundsDiscovery}
+			if a.IsLeader {
+				out.LeaderID = a.ID
 			}
 		}
-	default:
-		rec.Status = StatusFailed
-		rec.Error = fmt.Sprintf("campaign: unknown task %q", sc.Task)
-		return rec
+		return out, nil
 	}
-	rec.Status = StatusOK
-	rec.Verified = true
-	return rec
+	return cachedOutcome{}, fmt.Errorf("campaign: unknown task %q", sc.Task)
 }

@@ -88,6 +88,11 @@ type SweepConfig struct {
 	IDBoundFactor int
 	// Seed drives the pseudo-random configurations and schedules.
 	Seed int64
+	// Cache, when non-nil, memoises scenario outcomes under their canonical
+	// symmetry key (see internal/canon): repeated table regenerations — for
+	// example inside a long-lived serving process — reuse earlier
+	// computations instead of re-running every protocol.
+	Cache *campaign.Cache
 }
 
 func (c *SweepConfig) fill() {
@@ -224,7 +229,7 @@ func TableRowsContext(ctx context.Context, settings []Setting, cfg SweepConfig) 
 			scenarios = append(scenarios, disc)
 		}
 	}
-	recs, err := campaign.RunAll(ctx, scenarios, campaign.Options{})
+	recs, err := campaign.RunAll(ctx, scenarios, campaign.Options{Cache: cfg.Cache})
 	if err != nil {
 		return nil, fmt.Errorf("eval: campaign: %w", err)
 	}

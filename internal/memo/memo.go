@@ -1,0 +1,282 @@
+// Package memo provides a sharded, bounded, deduplicating result cache for
+// deterministic computations keyed by canonical scenario keys (see
+// internal/canon).
+//
+// Three properties matter for the serving layer built on top of it:
+//
+//   - Bounded memory: each shard keeps an LRU list; inserting past the
+//     capacity evicts the least recently used entry of that shard.
+//   - Singleflight: concurrent Do calls for the same key run the computation
+//     once; late arrivals join the in-flight call instead of recomputing.
+//   - Cooperative cancellation: the computation runs under a context that is
+//     cancelled only when every request that joined the call has been
+//     cancelled.  One impatient client cannot abort a result that other
+//     clients are still waiting for, and a result nobody wants any more stops
+//     burning CPU within one engine round.
+//
+// Errors are never cached: a failed computation (including a cancelled one)
+// is retried by the next Do for the key.  A computation that panics is
+// contained — the panic is delivered to every joined caller as an error, not
+// re-raised on the cache's internal goroutine.
+package memo
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies how a Do call was served.
+type Kind int8
+
+const (
+	// Miss: this call executed the computation.
+	Miss Kind = iota
+	// Hit: the value was already cached.
+	Hit
+	// Dedup: the call joined a computation another caller had in flight.
+	Dedup
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Hit:
+		return "hit"
+	case Dedup:
+		return "dedup"
+	default:
+		return "miss"
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Do calls served from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts Do calls that executed the computation.
+	Misses uint64 `json:"misses"`
+	// Dedups counts Do calls that joined an in-flight computation.
+	Dedups uint64 `json:"dedups"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current number of cached values.
+	Entries int `json:"entries"`
+}
+
+const defaultCapacity = 4096
+
+// Cache is a sharded LRU + singleflight cache from string keys to values of
+// type V.  The zero value is not usable; construct with New.
+type Cache[V any] struct {
+	shards [nShards]shard[V]
+	seed   maphash.Seed
+	cap    int // per shard
+
+	hits, misses, dedups, evictions atomic.Uint64
+}
+
+const nShards = 16
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*call[V]
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// call is one in-flight computation plus the bookkeeping for cooperative
+// cancellation: waiters counts the callers (leader included) still interested
+// in the result; when it reaches zero before the computation finishes, the
+// computation's context is cancelled.
+type call[V any] struct {
+	done     chan struct{}
+	val      V
+	err      error
+	waiters  int
+	finished bool
+	cancel   context.CancelFunc
+}
+
+// New returns a cache bounded to roughly the given total number of entries
+// (<= 0 selects a default of 4096).  The bound is enforced per shard, so the
+// precise ceiling is capacity rounded up to a multiple of the shard count.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = defaultCapacity
+	}
+	perShard := (capacity + nShards - 1) / nShards
+	c := &Cache[V]{seed: maphash.MakeSeed(), cap: perShard}
+	for i := range c.shards {
+		c.shards[i] = shard[V]{
+			entries:  make(map[string]*list.Element),
+			lru:      list.New(),
+			inflight: make(map[string]*call[V]),
+		}
+	}
+	return c
+}
+
+func (c *Cache[V]) shardOf(key string) *shard[V] {
+	return &c.shards[maphash.String(c.seed, key)%nShards]
+}
+
+// Get returns the cached value for key without affecting the singleflight
+// state.  It counts as a hit when present and updates the LRU recency.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the value for key, computing it with fn at most once across
+// concurrent callers.  The Kind reports how the call was served.  fn receives
+// a context that is cancelled when every caller that joined this computation
+// has been cancelled; its successful result is cached (evicting LRU entries
+// past the capacity), its error is returned to every joined caller and not
+// cached.  When ctx is cancelled while waiting, Do returns ctx.Err() without
+// waiting for fn.
+func (c *Cache[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (V, Kind, error) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		// Copy the value out under the lock: insertLocked updates entries
+		// in place, so reading after Unlock would race with a concurrent
+		// re-insert of the same key.
+		v := el.Value.(*entry[V]).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, Hit, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		cl.waiters++
+		s.mu.Unlock()
+		c.dedups.Add(1)
+		v, err := c.wait(ctx, s, key, cl)
+		return v, Dedup, err
+	}
+	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	cl := &call[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	s.inflight[key] = cl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	go func() {
+		var v V
+		var err error
+		// The computation runs on this cache-owned goroutine, outside any
+		// recover the caller installed on its own stack; contain panics here
+		// so one bad computation becomes an error for the joined waiters
+		// instead of killing the process (and leaving done never closed).
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("memo: computation panicked: %v", r)
+				}
+			}()
+			v, err = fn(cctx)
+		}()
+		s.mu.Lock()
+		cl.finished = true
+		cl.val, cl.err = v, err
+		// An abandoned call was already deregistered by its last waiter and
+		// may have been replaced by a fresh one; only remove our own entry.
+		if s.inflight[key] == cl {
+			delete(s.inflight, key)
+		}
+		if err == nil {
+			c.insertLocked(s, key, v)
+		}
+		s.mu.Unlock()
+		cancel()
+		close(cl.done)
+	}()
+
+	v, err := c.wait(ctx, s, key, cl)
+	return v, Miss, err
+}
+
+// wait blocks until the call completes or ctx is cancelled.  A cancelled
+// waiter deregisters its interest; the last deregistration cancels the
+// computation itself and removes it from the in-flight table, so a later Do
+// for the key starts a fresh computation instead of joining a dying one.
+func (c *Cache[V]) wait(ctx context.Context, s *shard[V], key string, cl *call[V]) (V, error) {
+	select {
+	case <-cl.done:
+		return cl.val, cl.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		if !cl.finished {
+			cl.waiters--
+			if cl.waiters == 0 {
+				cl.cancel()
+				if s.inflight[key] == cl {
+					delete(s.inflight, key)
+				}
+			}
+			s.mu.Unlock()
+			var zero V
+			return zero, ctx.Err()
+		}
+		s.mu.Unlock()
+		// The computation beat the cancellation; deliver the result.
+		<-cl.done
+		return cl.val, cl.err
+	}
+}
+
+// insertLocked adds key→val to the shard (which must be locked) and evicts
+// past the per-shard capacity.
+func (c *Cache[V]) insertLocked(s *shard[V], key string, val V) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*entry[V]).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&entry[V]{key: key, val: val})
+	for s.lru.Len() > c.cap {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.entries, back.Value.(*entry[V]).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache[V]) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Dedups:    c.dedups.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}

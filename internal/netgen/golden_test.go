@@ -1,0 +1,88 @@
+package netgen
+
+import (
+	"testing"
+
+	"ringsym/internal/canon"
+	"ringsym/internal/ring"
+)
+
+// TestCanonicalKeyGolden pins the canonical cache keys of fixed generation
+// options.  The keys depend on everything the Generate contract promises —
+// the draw sequence (positions, then identifiers, then chirality, from one
+// seed-derived stream) and the pairing of identifiers with SORTED ring
+// indices rather than raw draw order — so any netgen refactor that changes
+// generated configurations, however subtly, fails here instead of silently
+// invalidating persisted canonical keys and splitting symmetry orbits.
+//
+// If generation is changed deliberately, regenerate these keys AND bump the
+// key version in internal/canon so stale persisted keys cannot alias fresh
+// ones.
+func TestCanonicalKeyGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		key  string
+	}{
+		{
+			name: "basic common chirality",
+			opt:  Options{N: 8, Seed: 1, Model: ring.Basic},
+			key:  "85c818360900ba345fa8fc6a490e1f9821760a56dae582072948f8a253757684",
+		},
+		{
+			name: "perceptive mixed chirality",
+			opt:  Options{N: 8, Seed: 1, Model: ring.Perceptive, MixedChirality: true, ForceSplitChirality: true},
+			key:  "3fa2207e3434b4485c975ec812ad11be09f01962e86bdb7a3ba138c4b4be881f",
+		},
+		{
+			name: "lazy odd n",
+			opt:  Options{N: 9, Seed: 7, Model: ring.Lazy},
+			key:  "d3b7e5e25b73c67f64c35a2c74ac3a8acc4cfe6896cc69b6e265838c721d6159",
+		},
+		{
+			name: "perceptive equal spacing",
+			opt:  Options{N: 16, Seed: 3, Model: ring.Perceptive, EqualSpacing: true},
+			key:  "172f4a49498160379c7f7ecadbabf503decf890a5a23d756330efa5ab0877f2d",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := MustGenerate(tc.opt)
+			got, err := canon.Key(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.key {
+				t.Errorf("canonical key drifted:\n got %s\nwant %s\n(generation changed — see the Generate contract before updating this golden)", got, tc.key)
+			}
+		})
+	}
+}
+
+// TestIDAssignmentFollowsSortedPositions pins the pairing half of the
+// Generate contract directly: identifiers attach to ring indices of the
+// clockwise-sorted position order.  Positions must come out strictly
+// increasing (so index i IS the i-th agent clockwise), and the identifier
+// stream must be reproducible from the seed alone once the position draws
+// are accounted for — two generations with identical options agree
+// element-wise, not just as multisets.
+func TestIDAssignmentFollowsSortedPositions(t *testing.T) {
+	for _, opt := range []Options{
+		{N: 16, Seed: 5, Model: ring.Basic},
+		{N: 16, Seed: 5, Model: ring.Basic, EqualSpacing: true},
+		{N: 11, Seed: 9, Model: ring.Perceptive, MixedChirality: true},
+	} {
+		a := MustGenerate(opt)
+		b := MustGenerate(opt)
+		for i := 1; i < len(a.Positions); i++ {
+			if a.Positions[i] <= a.Positions[i-1] {
+				t.Fatalf("positions not strictly increasing at %d: %v", i, a.Positions)
+			}
+		}
+		for i := range a.IDs {
+			if a.IDs[i] != b.IDs[i] || a.Positions[i] != b.Positions[i] {
+				t.Fatalf("ID/position pairing not reproducible at ring index %d", i)
+			}
+		}
+	}
+}

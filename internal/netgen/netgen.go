@@ -98,6 +98,19 @@ func equalStep(circ int64, n int) int64 {
 }
 
 // Generate builds an engine configuration according to opt.
+//
+// Identifier assignment is independent of the order in which positions are
+// drawn: positions are drawn first and sorted clockwise, and the i-th
+// identifier drawn is bound to the i-th ring index of that sorted order —
+// never to the i-th raw draw.  The same holds for chirality bits.  This
+// pairing is load-bearing for the canonical result cache (internal/canon
+// keys, internal/memo): a refactor that re-paired identifiers with draw
+// order would silently move every generated configuration into a different
+// symmetry orbit and invalidate persisted canonical keys.  The contract —
+// including the exact draw sequence (positions, then identifiers, then
+// chirality, all from one seed-derived stream) — is pinned by the golden-key
+// test TestCanonicalKeyGolden in golden_test.go; a deliberate generation
+// change must update those keys and bump canon's key version.
 func Generate(opt Options) (engine.Config, error) {
 	if err := opt.fillDefaults(); err != nil {
 		return engine.Config{}, err

@@ -1,0 +1,451 @@
+// Package serve is the HTTP serving layer of the simulator: a long-lived
+// daemon (cmd/ringd) that executes ring-network scenarios on demand instead
+// of batch sweeps.
+//
+// All requests are batched onto one bounded worker pool — the same substrate
+// the campaign runner uses for offline sweeps — so a burst of clients queues
+// instead of oversubscribing the machine, and every request shares the
+// optional symmetry-canonical memo cache (internal/memo keyed by
+// internal/canon): two clients asking for rotations of the same ring are
+// served one computation.  Request contexts are threaded through to the
+// engine, so a disconnected or cancelled client stops burning CPU within one
+// simulated round (unless another in-flight client is waiting on the same
+// canonical computation).
+//
+// Endpoints:
+//
+//	POST /v1/run       one scenario in, one campaign.Record out (JSON)
+//	POST /v1/campaign  a campaign.Matrix spec in, records out as streamed
+//	                   JSONL in scenario-index order
+//	GET  /healthz      liveness: {"status":"ok"}
+//	GET  /metrics      throughput and cache counters (JSON)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringsym/internal/campaign"
+	"ringsym/internal/memo"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the size of the shared scenario worker pool; defaults to
+	// GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, memoises outcomes across requests under their
+	// canonical symmetry key.
+	Cache *campaign.Cache
+	// Circ is the ring circumference in ticks forwarded to network
+	// generation; 0 uses the netgen default.
+	Circ int64
+	// MaxRounds aborts runaway protocols; 0 uses the engine default.
+	MaxRounds int
+	// MaxCampaignScenarios caps the expansion of one /v1/campaign request;
+	// defaults to 100000.
+	MaxCampaignScenarios int
+	// MaxN caps the network size of any requested scenario; defaults to
+	// 4096.  Unbounded n would let a single request pin a worker for
+	// minutes and allocate O(n) engine state — a denial of service, not a
+	// legitimate workload.
+	MaxN int
+	// WriteTimeout bounds each response write (per record on streaming
+	// endpoints, so long campaigns are fine as long as the client keeps
+	// reading); defaults to 30s.  Without it, a client that stops reading
+	// its stream would block its handler in Write forever and, through the
+	// full delivery channel, wedge every shared worker.
+	WriteTimeout time.Duration
+}
+
+const (
+	defaultMaxCampaignScenarios = 100000
+	defaultMaxN                 = 4096
+	defaultWriteTimeout         = 30 * time.Second
+)
+
+// maxBodyBytes bounds request bodies; matrix specs and scenarios are tiny.
+const maxBodyBytes = 1 << 20
+
+// Server executes scenarios for HTTP clients on a shared worker pool.
+// Construct with New, serve via Handler, stop with Close.
+type Server struct {
+	opts  Options
+	jobs  chan job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+
+	runRequests      atomic.Uint64
+	campaignRequests atomic.Uint64
+	badRequests      atomic.Uint64
+	records          atomic.Uint64
+	failed           atomic.Uint64
+	cancelled        atomic.Uint64
+}
+
+// job is one scenario submitted to the pool.  The worker delivers the record
+// on out unless the request context is cancelled first.
+type job struct {
+	ctx context.Context
+	sc  campaign.Scenario
+	out chan<- campaign.Record
+}
+
+// New starts the worker pool and returns the server.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxCampaignScenarios <= 0 {
+		opts.MaxCampaignScenarios = defaultMaxCampaignScenarios
+	}
+	if opts.MaxN <= 0 {
+		opts.MaxN = defaultMaxN
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = defaultWriteTimeout
+	}
+	s := &Server{
+		opts:  opts,
+		jobs:  make(chan job),
+		quit:  make(chan struct{}),
+		start: time.Now(),
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool after in-flight scenarios finish their current
+// request.  Submissions after (or racing with) Close fail with 503; Close is
+// idempotent-unsafe and must be called exactly once, after the HTTP server
+// stopped accepting requests.
+func (s *Server) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.jobs:
+			rec := campaign.RunScenarioContext(j.ctx, j.sc, s.campaignOptions())
+			s.records.Add(1)
+			if rec.Status == campaign.StatusFailed {
+				// A run aborted because its client went away is routine
+				// serving churn, not a protocol failure; alerting on the
+				// failed counter must not fire for disconnects.  The error
+				// text is consulted too: a genuine failure that merely
+				// races a disconnect must still count as failed.
+				if err := j.ctx.Err(); err != nil && strings.Contains(rec.Error, err.Error()) {
+					s.cancelled.Add(1)
+				} else {
+					s.failed.Add(1)
+				}
+			}
+			select {
+			case j.out <- rec:
+			case <-j.ctx.Done():
+			}
+		}
+	}
+}
+
+func (s *Server) campaignOptions() campaign.Options {
+	return campaign.Options{
+		Circ:      s.opts.Circ,
+		MaxRounds: s.opts.MaxRounds,
+		Cache:     s.opts.Cache,
+	}
+}
+
+// errServerClosed reports a submission racing with shutdown.
+var errServerClosed = errors.New("serve: server is shutting down")
+
+// submit hands a scenario to the pool and returns immediately once a worker
+// accepted it; the record arrives on out.
+func (s *Server) submit(ctx context.Context, sc campaign.Scenario, out chan<- campaign.Record) error {
+	select {
+	case s.jobs <- job{ctx: ctx, sc: sc, out: out}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.quit:
+		return errServerClosed
+	}
+}
+
+// Handler returns the HTTP handler exposing the daemon's endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.  Only 4xx
+// responses count as bad requests: a 503 from a submission racing graceful
+// shutdown is server-side churn, not malformed client input.
+func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
+	if status >= 400 && status < 500 {
+		s.badRequests.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// decodeStrict decodes exactly one JSON value from the (size-bounded) body,
+// rejecting unknown fields and trailing garbage.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after the JSON value")
+	}
+	return nil
+}
+
+// validateScenario normalises a client-supplied scenario: the task and model
+// must parse, n must satisfy the paper's n > 4 and the daemon's size cap,
+// and a zero identifier bound defaults to the campaign's 4n.
+func (s *Server) validateScenario(sc *campaign.Scenario) error {
+	if sc.Task != campaign.TaskCoordinate && sc.Task != campaign.TaskDiscover {
+		return fmt.Errorf("unknown task %q (want %q or %q)", sc.Task, campaign.TaskCoordinate, campaign.TaskDiscover)
+	}
+	if _, err := campaign.ParseModel(sc.Model); err != nil {
+		return err
+	}
+	if sc.N < 5 {
+		return fmt.Errorf("n = %d too small (the paper needs n > 4)", sc.N)
+	}
+	if sc.N > s.opts.MaxN {
+		return fmt.Errorf("n = %d above this daemon's limit of %d", sc.N, s.opts.MaxN)
+	}
+	if sc.CommonSense && sc.MixedChirality {
+		return errors.New("common_sense contradicts mixed_chirality (the promise would be violated)")
+	}
+	if sc.IDBound == 0 {
+		sc.IDBound = 4 * sc.N
+	}
+	if sc.IDBound < sc.N {
+		return fmt.Errorf("id_bound %d < n %d (identifiers are distinct)", sc.IDBound, sc.N)
+	}
+	return nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var sc campaign.Scenario
+	if err := decodeStrict(w, r, &sc); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad scenario: %w", err))
+		return
+	}
+	if err := s.validateScenario(&sc); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad scenario: %w", err))
+		return
+	}
+	s.runRequests.Add(1)
+	// Cache hits are answered on this request goroutine: joining the pool
+	// for a no-work lookup would let a burst of identical requests park
+	// workers that unrelated clients need.  The probe's own cost —
+	// generation plus canonicalization — is O(n) expected (the lexicographic
+	// candidate scan resolves at the first gap for the distinct random gaps
+	// netgen produces; the O(n^2) worst case needs equal gaps, which no
+	// Scenario can request), i.e. well under a millisecond at MaxN.
+	if rec, ok := campaign.ProbeCache(sc, s.campaignOptions()); ok {
+		s.records.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(s.deadlineWriter(w)).Encode(rec)
+		return
+	}
+	ctx := r.Context()
+	out := make(chan campaign.Record, 1)
+	if err := s.submit(ctx, sc, out); err != nil {
+		if errors.Is(err, errServerClosed) {
+			s.httpError(w, http.StatusServiceUnavailable, err)
+		}
+		return // client gone; nothing to write
+	}
+	select {
+	case rec := <-out:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(s.deadlineWriter(w)).Encode(rec)
+	case <-ctx.Done():
+		// The client disconnected; the worker's engine run aborts within one
+		// round through the same context.
+	}
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var m campaign.Matrix
+	if err := decodeStrict(w, r, &m); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad matrix spec: %w", err))
+		return
+	}
+	// Bound the request BEFORE expansion: Expand allocates one Scenario per
+	// axis-product element, so a malicious spec with huge axes must be
+	// rejected from the axis lengths alone, not after the allocation.
+	bound, maxN := m.UpperBounds()
+	if bound > s.opts.MaxCampaignScenarios {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Errorf("matrix expands to up to %d scenarios, above the limit of %d", bound, s.opts.MaxCampaignScenarios))
+		return
+	}
+	if maxN > s.opts.MaxN {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Errorf("matrix contains n = %d, above this daemon's limit of %d", maxN, s.opts.MaxN))
+		return
+	}
+	scenarios, err := m.Expand()
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.campaignRequests.Add(1)
+	ctx := r.Context()
+
+	// Feed the pool from a separate goroutine so records stream back (in
+	// scenario-index order, via OrderedWriter) while later scenarios are
+	// still queueing.  On a cached daemon the feed is decorrelated so a
+	// symmetric matrix's adjacent framings don't pile the shared workers —
+	// which every client depends on — onto one singleflight computation;
+	// the reorder horizon is bounded, so OrderedWriter buffers at most a
+	// window of out-of-order records per request.
+	feed := scenarios
+	if s.opts.Cache != nil {
+		feed = campaign.DecorrelateOrbits(scenarios)
+	}
+	out := make(chan campaign.Record, s.opts.Workers)
+	go func() {
+		for _, sc := range feed {
+			if s.submit(ctx, sc, out) != nil {
+				return
+			}
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	writer := campaign.NewOrderedWriter(s.deadlineWriter(w), scenarios)
+	for received := 0; received < len(scenarios); received++ {
+		select {
+		case rec := <-out:
+			if err := writer.Add(rec); err != nil {
+				return // client gone mid-stream; ctx cancellation unwinds the rest
+			}
+		case <-ctx.Done():
+			return
+		case <-s.quit:
+			// Pool shutdown racing the stream: the feeder has stopped
+			// submitting, so the remaining records will never arrive;
+			// terminate the (truncated) response instead of stalling it.
+			return
+		}
+	}
+	// All records received, so Flush has nothing pending; it only guards
+	// against programming errors (a record outside the scenario list).
+	writer.Flush()
+}
+
+// deadlineWriter wraps a response so every write (one record, on the
+// streaming endpoints) carries a fresh write deadline and an immediate
+// flush: records reach a reading client as they complete, and a client that
+// stops reading turns into a write error within WriteTimeout instead of
+// blocking the handler — and, through the full delivery channel, the shared
+// worker pool — forever.
+func (s *Server) deadlineWriter(w http.ResponseWriter) io.Writer {
+	return &flushWriter{w: w, rc: http.NewResponseController(w), timeout: s.opts.WriteTimeout}
+}
+
+type flushWriter struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	timeout time.Duration
+}
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	// Not every ResponseWriter supports deadlines (httptest's recorder does
+	// not); degrade to an unbounded write there rather than failing.
+	f.rc.SetWriteDeadline(time.Now().Add(f.timeout))
+	n, err := f.w.Write(p)
+	if err == nil {
+		f.rc.Flush()
+	}
+	// Clear the deadline: it is set on the underlying connection, and a
+	// later response on the same keep-alive connection (e.g. a /metrics
+	// poll written without this wrapper) must not inherit a stale one.
+	f.rc.SetWriteDeadline(time.Time{})
+	return n, err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// Metrics is the JSON shape of GET /metrics.
+type Metrics struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Workers          int     `json:"workers"`
+	RunRequests      uint64  `json:"run_requests"`
+	CampaignRequests uint64  `json:"campaign_requests"`
+	BadRequests      uint64  `json:"bad_requests"`
+	// Records counts scenarios executed (or served from the cache) across
+	// all endpoints.  Failed is the subset that genuinely failed (protocol
+	// error, verification failure, panic); Cancelled is the subset aborted
+	// because the requesting client disconnected or timed out — routine
+	// serving churn kept out of the failure rate.
+	Records          uint64  `json:"records"`
+	Failed           uint64  `json:"failed"`
+	Cancelled        uint64  `json:"cancelled"`
+	RecordsPerSecond float64 `json:"records_per_second"`
+	// Cache is present only when the daemon runs with the memo cache.
+	Cache *memo.Stats `json:"cache,omitempty"`
+}
+
+// Snapshot returns the current metrics.
+func (s *Server) Snapshot() Metrics {
+	uptime := time.Since(s.start).Seconds()
+	m := Metrics{
+		UptimeSeconds:    uptime,
+		Workers:          s.opts.Workers,
+		RunRequests:      s.runRequests.Load(),
+		CampaignRequests: s.campaignRequests.Load(),
+		BadRequests:      s.badRequests.Load(),
+		Records:          s.records.Load(),
+		Failed:           s.failed.Load(),
+		Cancelled:        s.cancelled.Load(),
+	}
+	if uptime > 0 {
+		m.RecordsPerSecond = float64(m.Records) / uptime
+	}
+	if s.opts.Cache != nil {
+		st := s.opts.Cache.Stats()
+		m.Cache = &st
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Snapshot())
+}
