@@ -386,3 +386,38 @@ func BenchmarkEngineRound(b *testing.B) {
 func BenchmarkEngineRoundLegacy(b *testing.B) {
 	benchEngineRound(b, engine.RunLegacy[int])
 }
+
+// BenchmarkEngineLeap measures leap execution on the constant-direction sweep
+// workload: every agent keeps a fixed direction (both directions present) and
+// submits it in doubling batches via RoundN, so each barrier crossing
+// executes a whole closed-form stretch.  The per-round baseline for the
+// leap-vs-single speedup recorded in EXPERIMENTS.md is
+// BenchmarkEngineLeapSingle, the identical workload submitted one round at a
+// time (the v2 per-round path).
+func BenchmarkEngineLeap(b *testing.B) {
+	benchEngineSweep(b, 512)
+}
+
+// BenchmarkEngineLeapSingle is the per-round baseline of BenchmarkEngineLeap.
+func BenchmarkEngineLeapSingle(b *testing.B) {
+	benchEngineSweep(b, 1)
+}
+
+// benchEngineSweep drives the shared constant-direction sweep workload
+// (eval.EngineSweepProtocol, the same workload benchtables -engine measures)
+// with the given batch size (1 = the per-round path) and reports rounds/sec.
+func benchEngineSweep(b *testing.B, batch int) {
+	for _, n := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			nw, err := eval.EngineSweepNetwork(n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := engine.Run(nw, eval.EngineSweepProtocol(b.N, batch)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+		})
+	}
+}

@@ -11,14 +11,11 @@ import "ringsym/internal/ring"
 // The function returns nmDir re-expressed in the (possibly flipped) frame so
 // that it still denotes the same objective direction.  Cost: 2 rounds.
 func DirectionAgreement(f *Frame, nmDir ring.Direction) (ring.Direction, error) {
-	obs1, err := f.Round(nmDir)
+	trace, err := f.RoundN(nmDir, 2)
 	if err != nil {
 		return ring.Idle, err
 	}
-	obs2, err := f.Round(nmDir)
-	if err != nil {
-		return ring.Idle, err
-	}
+	obs1, obs2 := trace[0], trace[1]
 	if obs1.Dist+obs2.Dist > f.FullCircle() {
 		f.Flip()
 		return nmDir.Opposite(), nil

@@ -40,6 +40,10 @@ type Frame struct {
 	agent   *engine.Agent
 	flipped bool
 	full    int64
+
+	// schedScratch holds frame-to-agent translations of RoundSchedule
+	// submissions; reused across calls.
+	schedScratch []ring.Direction
 }
 
 // NewFrame wraps the agent with an unflipped frame (the agent's own private
@@ -103,6 +107,90 @@ func (f *Frame) Round(dir ring.Direction) (engine.Observation, error) {
 	return obs, nil
 }
 
+// retranslate maps an observation trace into the frame's orientation,
+// in place.
+func (f *Frame) retranslate(trace []engine.Observation) []engine.Observation {
+	if f.flipped {
+		for i := range trace {
+			if trace[i].Dist != 0 {
+				trace[i].Dist = f.full - trace[i].Dist
+			}
+		}
+	}
+	return trace
+}
+
+// RoundN executes k consecutive rounds in which the agent moves in direction
+// dir (frame coordinates), submitted as a single leap batch, and returns the
+// per-round observations — exactly what k sequential Round calls would have
+// returned, without k barrier crossings.
+func (f *Frame) RoundN(dir ring.Direction, k int) ([]engine.Observation, error) {
+	return f.RoundNInto(dir, k, nil)
+}
+
+// RoundNInto is RoundN writing the trace into dst from index 0, reusing its
+// capacity and overwriting any existing contents.
+func (f *Frame) RoundNInto(dir ring.Direction, k int, dst []engine.Observation) ([]engine.Observation, error) {
+	trace, err := f.agent.RoundNInto(f.translate(dir), k, dst)
+	if err != nil {
+		return nil, err
+	}
+	return f.retranslate(trace), nil
+}
+
+// RoundNSum executes k rounds in direction dir (frame coordinates) and
+// returns only the cumulative displacement of the stretch, measured in the
+// frame's clockwise direction modulo the full circle.  Use it for stretches
+// whose per-round observations are discarded (restores, undo phases): the
+// runtime then skips materialising the trace entirely.
+func (f *Frame) RoundNSum(dir ring.Direction, k int) (int64, error) {
+	sum, err := f.agent.RoundNSum(f.translate(dir), k)
+	if err != nil {
+		return 0, err
+	}
+	if f.flipped && sum != 0 {
+		sum = f.full - sum
+	}
+	return sum, nil
+}
+
+// RoundUntil executes up to k rounds in direction dir (frame coordinates),
+// stopping after the first round at which the frame displacement (the value
+// Displacement reports) equals target.  The stop is solved in closed form by
+// the runtime, so the batch consumes exactly as many rounds as the
+// equivalent per-round loop — no overshoot.  The returned trace covers the
+// executed rounds.
+func (f *Frame) RoundUntil(dir ring.Direction, target int64, k int, dst []engine.Observation) ([]engine.Observation, error) {
+	agentTarget := target
+	if f.flipped && target != 0 {
+		agentTarget = f.full - target
+	}
+	trace, err := f.agent.RoundUntil(f.translate(dir), agentTarget, k, dst)
+	if err != nil {
+		return nil, err
+	}
+	return f.retranslate(trace), nil
+}
+
+// RoundSchedule executes a whole per-round direction schedule (frame
+// coordinates) as one batch and returns the per-round observations.  The
+// schedule is translated into the agent's frame in a scratch buffer, so the
+// caller's slice is never modified.
+func (f *Frame) RoundSchedule(dirs []ring.Direction, dst []engine.Observation) ([]engine.Observation, error) {
+	if cap(f.schedScratch) < len(dirs) {
+		f.schedScratch = make([]ring.Direction, len(dirs))
+	}
+	sched := f.schedScratch[:len(dirs)]
+	for i, d := range dirs {
+		sched[i] = f.translate(d)
+	}
+	trace, err := f.agent.RoundSchedule(sched, dst)
+	if err != nil {
+		return nil, err
+	}
+	return f.retranslate(trace), nil
+}
+
 // RoundPair executes SINGLEROUND followed by REVERSEDROUND for the given
 // direction, so that afterwards every agent is back at the position it
 // occupied before the pair (provided every agent uses RoundPair with its own
@@ -164,19 +252,17 @@ func (c RotationClass) Nontrivial() bool { return c == RotBelowHalf || c == RotA
 // When restore is true two reversed rounds follow, so every agent ends at the
 // position it started from.  Cost: 2 rounds (4 with restore).
 func (f *Frame) ClassifyRotation(dir ring.Direction, restore bool) (RotationClass, error) {
-	obs1, err := f.Round(dir)
+	var pair [2]engine.Observation
+	trace, err := f.RoundNInto(dir, 2, pair[:0])
 	if err != nil {
 		return RotUnknown, err
 	}
-	obs2, err := f.Round(dir)
-	if err != nil {
-		return RotUnknown, err
-	}
+	obs1, obs2 := trace[0], trace[1]
 	if restore {
-		for i := 0; i < 2; i++ {
-			if _, err := f.Round(dir.Opposite()); err != nil {
-				return RotUnknown, err
-			}
+		// The reversed rounds' observations are discarded, so the aggregate
+		// form suffices.
+		if _, err := f.RoundNSum(dir.Opposite(), 2); err != nil {
+			return RotUnknown, err
 		}
 	}
 	switch sum := obs1.Dist + obs2.Dist; {

@@ -61,28 +61,34 @@ func EmptinessTest(f *Frame, inB bool) (bool, error) {
 		return ring.Anticlockwise
 	}
 
-	obs, err := f.Round(memberDir(inB))
-	if err != nil {
-		return false, err
-	}
-	if obs.Dist != 0 || (model.RevealsCollision() && obs.Collided) {
-		nonEmpty = true
-	}
-
 	needBitRounds := model == ring.Basic && f.agent.NParity() != engine.ParityOdd
 	if !needBitRounds {
+		obs, err := f.Round(memberDir(inB))
+		if err != nil {
+			return false, err
+		}
+		if obs.Dist != 0 || (model.RevealsCollision() && obs.Collided) {
+			nonEmpty = true
+		}
 		return nonEmpty, nil
 	}
 	// Basic model with even n: |B ∩ A| = n/2 can hide behind rotation index
 	// zero.  Testing the bit-slices B ∩ {x : bit_i(x) = 0} recovers it: if
 	// B ∩ A is non-empty but every slice has rotation index zero, all members
-	// would share every identifier bit, which is impossible for n > 4.
+	// would share every identifier bit, which is impossible for n > 4.  The
+	// whole schedule — membership round plus one round per identifier bit —
+	// depends only on the agent's own membership and identifier, so it is
+	// submitted as a single leap batch.
+	dirs := make([]ring.Direction, 1+f.idBits())
+	dirs[0] = memberDir(inB)
 	for i := 1; i <= f.idBits(); i++ {
-		member := inB && IDBit(f.ID(), i) == 0
-		obs, err := f.Round(memberDir(member))
-		if err != nil {
-			return false, err
-		}
+		dirs[i] = memberDir(inB && IDBit(f.ID(), i) == 0)
+	}
+	trace, err := f.RoundSchedule(dirs, nil)
+	if err != nil {
+		return false, err
+	}
+	for _, obs := range trace {
 		if obs.Dist != 0 {
 			nonEmpty = true
 		}
@@ -127,16 +133,21 @@ func BroadcastBits(f *Frame, isBroadcaster bool, value uint64, bits int) (uint64
 	if bits <= 0 || bits > 63 {
 		return 0, fmt.Errorf("core: BroadcastBits supports 1..63 bits, got %d", bits)
 	}
-	var received uint64
+	// The whole broadcast schedule is known upfront (it depends only on the
+	// broadcaster's own value), so all bit rounds go out as one leap batch.
+	dirs := make([]ring.Direction, bits)
 	for i := 0; i < bits; i++ {
-		dir := ring.Anticlockwise
+		dirs[i] = ring.Anticlockwise
 		if isBroadcaster && (value>>i)&1 == 1 {
-			dir = ring.Clockwise
+			dirs[i] = ring.Clockwise
 		}
-		obs, err := f.Round(dir)
-		if err != nil {
-			return 0, err
-		}
+	}
+	trace, err := f.RoundSchedule(dirs, nil)
+	if err != nil {
+		return 0, err
+	}
+	var received uint64
+	for i, obs := range trace {
 		if obs.Dist != 0 {
 			received |= 1 << i
 		}

@@ -121,17 +121,38 @@ func sweepDiscovery(a *engine.Agent, opts Options, step int) (*Result, error) {
 	full := f.FullCircle()
 	start := f.Displacement()
 	visited := []int64{start}
-	for {
-		if _, err := f.Round(dir); err != nil {
+	// The sweep executes as leap batches of doubling size: the agent does not
+	// know n, so it asks for exponentially growing constant-direction batches
+	// and scans each returned displacement trace for the round at which it is
+	// back at its pre-sweep position.  The engine solves that stop condition
+	// in closed form (Frame.RoundUntil), so the batch ends exactly at the
+	// return round — the same n rounds the per-round loop consumed — in
+	// O(log n) barrier crossings instead of n.
+	//
+	// Runaway guard: positions are distinct integer ticks, so n never exceeds
+	// the circumference in ticks (full is in half-ticks, twice that).  The
+	// bound is kept in int64: converting the circumference to int would
+	// truncate on 32-bit platforms.
+	circTicks := full / 2
+	var trace []engine.Observation
+	returned := false
+	for batch := 1; !returned; batch *= 2 {
+		var err error
+		trace, err = f.RoundUntil(dir, start, batch, trace[:0])
+		if err != nil {
 			return nil, err
 		}
-		d := f.Displacement()
-		if d == start {
-			break
-		}
-		visited = append(visited, d)
-		if len(visited) > int(full) {
-			return nil, fmt.Errorf("%w: sweep did not return to its start", ErrProtocol)
+		d := visited[len(visited)-1]
+		for _, obs := range trace {
+			d = (d + obs.Dist) % full
+			if d == start {
+				returned = true
+				break
+			}
+			visited = append(visited, d)
+			if int64(len(visited)) > circTicks {
+				return nil, fmt.Errorf("%w: sweep did not return to its start", ErrProtocol)
+			}
 		}
 	}
 	n := len(visited)

@@ -269,3 +269,97 @@ func TestLemma5PerceptiveDistinguishes(t *testing.T) {
 		t.Error("coll() observations should differ between the twin worlds")
 	}
 }
+
+// TestSweepGuardDenseRing pins the runaway-guard bound of sweepDiscovery at
+// its boundary: with one agent on every tick the sweep's visited list reaches
+// exactly the circumference in ticks, which the guard must allow (the old
+// bound compared a round count against half-ticks, twice as loose as
+// intended, and truncated the circumference through int() on 32-bit
+// platforms).
+func TestSweepGuardDenseRing(t *testing.T) {
+	const n = 8 // n == circ: every tick occupied
+	positions := make([]int64, n)
+	ids := make([]int, n)
+	for i := range positions {
+		positions[i] = int64(i)
+		ids[i] = i + 1
+	}
+	nw, err := engine.New(engine.Config{
+		Model: ring.Lazy, Circ: n, Positions: positions, IDs: ids, IDBound: 4 * n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := runDiscovery(t, nw, Options{Seed: 3})
+	checkPositions(t, nw, outputs)
+	for i, r := range outputs {
+		if r.N != n {
+			t.Fatalf("agent %d discovered n = %d, want %d", i, r.N, n)
+		}
+	}
+}
+
+// TestSweepRoundsExact pins that the leap-batched sweep consumes exactly n
+// discovery rounds — the closed-form stop prevents the doubling batches from
+// overshooting the return round the per-round loop stopped at.
+func TestSweepRoundsExact(t *testing.T) {
+	for _, tc := range []struct {
+		model ring.Model
+		n     int
+	}{
+		{ring.Lazy, 12}, {ring.Lazy, 9}, {ring.Basic, 9}, {ring.Perceptive, 9},
+	} {
+		nw := newNetwork(t, netgen.Options{N: tc.n, IDBound: 64, Seed: 5, Model: tc.model, MixedChirality: true, ForceSplitChirality: true})
+		outputs := runDiscovery(t, nw, Options{Seed: 5})
+		for i, r := range outputs {
+			if r.RoundsDiscovery != tc.n {
+				t.Fatalf("%v n=%d agent %d: sweep consumed %d rounds, want exactly %d",
+					tc.model, tc.n, i, r.RoundsDiscovery, tc.n)
+			}
+		}
+	}
+}
+
+// TestDiscoveryLeapMatchesLegacy runs full location discovery on the v2 leap
+// runtime and on the v1 per-round legacy runtime (which executes every batch
+// one round at a time) and demands identical outputs and round counts — the
+// protocol-level leap-on/leap-off differential.
+func TestDiscoveryLeapMatchesLegacy(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  netgen.Options
+	}{
+		{"lazy-even-mixed", netgen.Options{N: 10, IDBound: 64, Seed: 7, Model: ring.Lazy, MixedChirality: true, ForceSplitChirality: true}},
+		{"basic-odd-common", netgen.Options{N: 9, IDBound: 64, Seed: 8, Model: ring.Basic}},
+		{"perceptive-even-mixed", netgen.Options{N: 8, IDBound: 64, Seed: 9, Model: ring.Perceptive, MixedChirality: true, ForceSplitChirality: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			protocol := func(a *engine.Agent) (*Result, error) {
+				return LocationDiscovery(a, Options{Seed: 11})
+			}
+			v2, err := engine.Run(newNetwork(t, tc.opt), protocol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1, err := engine.RunLegacy(newNetwork(t, tc.opt), protocol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v2.Rounds != v1.Rounds {
+				t.Fatalf("rounds: leap %d, legacy %d", v2.Rounds, v1.Rounds)
+			}
+			for i := range v2.Outputs {
+				a, b := v2.Outputs[i], v1.Outputs[i]
+				if a.IsLeader != b.IsLeader || a.N != b.N ||
+					a.RoundsCoordination != b.RoundsCoordination || a.RoundsDiscovery != b.RoundsDiscovery {
+					t.Fatalf("agent %d: leap %+v, legacy %+v", i, a, b)
+				}
+				for j := range a.Positions {
+					if a.Positions[j] != b.Positions[j] {
+						t.Fatalf("agent %d position %d: leap %d, legacy %d", i, j, a.Positions[j], b.Positions[j])
+					}
+				}
+			}
+		})
+	}
+}

@@ -8,64 +8,114 @@ import (
 	"ringsym/internal/ring"
 )
 
-// testHookExecuteRound, when set, runs at the start of every round execution;
-// tests use it to inject executor-side panics.
+// testHookExecuteRound, when set, runs at the start of every crossing's round
+// execution; tests use it to inject executor-side panics.
 var testHookExecuteRound func()
 
 // awaitSpins bounds the cooperative-yield phase of a barrier wait before the
 // waiter parks on its wake channel.  Rounds are microsecond-scale, so a
-// waiting agent usually sees the round execute within a yield or two; the
+// waiting agent usually sees its batch complete within a yield or two; the
 // park path only pays off when another agent computes for a long time
-// between rounds.
+// between submissions.
 const awaitSpins = 8
 
-// barrier is the direct-dispatch round synchroniser of the v2 runtime.  All
-// agent goroutines of a run share one barrier: an agent publishes its
-// objective direction into its preallocated slot, decrements a single atomic
-// countdown and, if it is the last active agent to arrive, executes the round
-// inline on the analytic engine and publishes a new round generation.  There
-// is no coordinator goroutine, no shared lock on the hot path and no
-// per-round channel rendezvous, and a steady-state round performs no
-// allocations (directions, submission flags and observations live in buffers
-// reused across rounds and across runs).
+// batch is one agent's submission to the barrier: a schedule of one or more
+// rounds executed without the agent waking in between.  Exactly one of dir
+// (constant direction) or dirs (explicit per-round schedule) is used; k is
+// the schedule length.  trace, when non-nil, receives the agent's objective
+// per-round observations; a nil trace requests aggregate mode, where only the
+// cumulative displacement is computed (O(1) per leap instead of O(k)).
 //
-// Waiters first yield cooperatively watching the generation counter; only a
-// waiter that outlives the spin phase registers itself as parked and blocks
-// on its private wake channel, which the round executor (or a failure)
-// tokens.  The parked flag and the generation counter form a Dekker pair:
-// either the executor observes the flag and sends a token, or the waiter
-// observes the advanced generation and never blocks.
-//
-// Invariants:
-//
-//   - A round executes exactly when every active agent has either submitted a
-//     direction (await) or left the run (leave); agents that already finished
-//     are assigned their default direction, their own clockwise, because the
-//     model requires everybody to act in every round.
-//   - Only the executing goroutine touches the ring state, the shared outcome
-//     buffer and other agents' submission flags, and it does so strictly
-//     between observing the countdown hit zero and advancing the generation;
-//     publication is ordered by the countdown (arrivals before) and the
-//     generation/wake tokens (waiters after).
-//   - Observations stay frame-translated at the barrier boundary: the buffer
-//     holds objective observations, and each Agent.Round translates its own
-//     entry into the agent's private frame after waking.  The buffer is only
-//     overwritten by the next round, which cannot complete before every
-//     released waiter has submitted again (or left).
-//   - failErr is sticky: once the run fails (max rounds, broken network
-//     state, context cancellation via abort) every present and future arrival
-//     returns the same error immediately and no further round executes, so
-//     runaway protocols that keep submitting cannot deadlock the run.
-type barrier struct {
-	nw *Network
+// stop arms the early-stop condition: the batch ends after the first round at
+// which the agent's cumulative objective displacement reaches stopTarget,
+// even if fewer than k rounds have executed.  objDisp seeds the executor's
+// displacement tracking with the agent's displacement at submission.  The
+// stop condition is solved in closed form by the executor
+// (ring.(*State).StopRound), so a condition-bounded batch costs the same as a
+// plain one; it exists so protocols whose per-round loops break on their own
+// displacement can batch without overshooting the round they would have
+// stopped at.
+type batch struct {
+	dir        ring.Direction
+	dirs       []ring.Direction
+	k          int
+	trace      []ring.Observation
+	stop       bool
+	stopTarget int64
+	objDisp    int64
+}
 
-	remaining atomic.Int32          // active agents yet to arrive this round
-	gen       atomic.Uint64         // completed-round generation counter
+// pending is a batch in flight at the barrier, plus the executor-owned
+// progress through it.  Between the countdown reaching zero and the agent's
+// completion flag being set, only the executing goroutine touches it.
+type pending struct {
+	batch
+	pos int   // rounds of the batch already executed (fill index into trace)
+	agg int64 // cumulative objective displacement of the batch, mod full circle
+}
+
+// dispatcher is the mechanism through which an agent's submission reaches the
+// analytic engine.  The v2 runtime leaps at a barrier; the retained v1
+// runtime rendezvouses with a coordinator goroutine over channels (legacy.go)
+// and runs batches one round at a time.
+type dispatcher interface {
+	// awaitBatch blocks until the batch has executed (or the run failed) and
+	// returns the number of rounds actually executed (less than b.k only when
+	// the stop condition ended the batch early) and the batch's cumulative
+	// objective displacement modulo the full circle.
+	awaitBatch(idx int, b batch) (executed int, agg int64, err error)
+}
+
+// barrier is the direct-dispatch round synchroniser of the v2 runtime.  All
+// agent goroutines of a run share one barrier: an agent publishes its batch
+// into its preallocated slot, decrements a single atomic countdown and, if it
+// is the last active agent to arrive, executes a leap inline on the analytic
+// engine.  There is no coordinator goroutine, no shared lock on the hot path
+// and no per-round channel rendezvous, and a steady-state crossing performs
+// no allocations.
+//
+// A crossing executes the minimum remaining round count over all pending
+// batches (the leap), so agents whose batches are longer stay blocked across
+// crossings while shorter batches complete and resubmit.  Within a leap the
+// executor splits the window into maximal stretches over which every agent's
+// direction is constant and executes each stretch in closed form
+// (ring.ExecuteRoundsInto); a stretch of length 1 degenerates to the plain
+// per-round path (ring.ExecuteRoundInto).  A round executes exactly when
+// every active agent has either a pending batch (awaitBatch) or has left the
+// run (leave); agents that already finished are assigned their default
+// direction, their own clockwise, because the model requires everybody to
+// act in every round.
+//
+// Completion is signalled per agent: the executor finalises an agent's
+// pending state, clears its submission flag and only then sets its atomic
+// complete flag, after which it never touches that agent's slot again — the
+// agent may already be resubmitting while the executor finishes releasing
+// others.  Waiters first yield cooperatively watching their complete flag;
+// only a waiter that outlives the spin phase registers itself as parked and
+// blocks on its private wake channel.  The parked flag and the complete flag
+// form a Dekker pair: either the executor observes the flag and sends a
+// token, or the waiter observes completion and never blocks.  The countdown
+// for the next crossing is the number of agents released this crossing, and
+// it is re-armed before the first complete flag is set, so a released agent's
+// immediate resubmission cannot race the countdown.
+//
+// failErr is sticky: once the run fails (max rounds, broken network state,
+// context cancellation via abort) every present and future arrival returns
+// the same error immediately and no further round executes.
+type barrier struct {
+	nw   *Network
+	full int64 // circumference in half-ticks
+
+	remaining atomic.Int32          // active agents yet to arrive this crossing
+	xlock     atomic.Bool           // crossing hand-off lock (see executeLeap)
 	failErr   atomic.Pointer[error] // sticky run failure
 
-	dirs      []ring.Direction // objective direction by ring index
-	submitted []bool           // whether agent i submitted this round
-	out       ring.Outcome     // observations of the last executed round
+	pend      []pending        // submission slots by ring index
+	submitted []bool           // whether agent i has an unconsumed batch
+	dirs      []ring.Direction // objective direction by ring index, per stretch
+	out       ring.Outcome     // single-round stretch buffer
+	leap      ring.LeapOutcome // multi-round stretch buffer
+	complete  []atomic.Bool    // whether agent i's batch has finished
 	parked    []atomic.Bool    // whether agent i blocked past the spin phase
 	wake      []chan struct{}  // per-agent release tokens (cap 2: round + abort)
 }
@@ -74,8 +124,11 @@ func newBarrier(nw *Network) *barrier {
 	n := nw.N()
 	b := &barrier{
 		nw:        nw,
-		dirs:      make([]ring.Direction, n),
+		full:      nw.state.FullCircle(),
+		pend:      make([]pending, n),
 		submitted: make([]bool, n),
+		dirs:      make([]ring.Direction, n),
+		complete:  make([]atomic.Bool, n),
 		parked:    make([]atomic.Bool, n),
 		wake:      make([]chan struct{}, n),
 	}
@@ -91,9 +144,12 @@ func newBarrier(nw *Network) *barrier {
 // the watcher join in RunContext guarantee.
 func (b *barrier) reset(n int) {
 	b.remaining.Store(int32(n))
+	b.xlock.Store(false)
 	b.failErr.Store(nil)
-	for i := range b.submitted {
+	for i := range b.pend {
+		b.pend[i] = pending{} // drop stale trace/schedule pointers
 		b.submitted[i] = false
+		b.complete[i].Store(false)
 		b.parked[i].Store(false)
 	}
 	// Drop stale tokens left by an aborted previous run.
@@ -104,63 +160,65 @@ func (b *barrier) reset(n int) {
 	}
 }
 
-// await submits agent idx's objective direction for the next round, blocks
-// until the round has been executed and returns the agent's objective
-// observation.
-func (b *barrier) await(idx int, dir ring.Direction) (ring.Observation, error) {
+// awaitBatch submits agent idx's batch, blocks until it has fully executed
+// and returns the executed round count and the batch's cumulative objective
+// displacement.
+func (b *barrier) awaitBatch(idx int, bt batch) (int, int64, error) {
 	if p := b.failErr.Load(); p != nil {
-		return ring.Observation{}, *p
+		return 0, 0, *p
 	}
-	b.dirs[idx] = dir
+	b.pend[idx] = pending{batch: bt}
 	b.submitted[idx] = true
-	gen := b.gen.Load()
+	b.complete[idx].Store(false)
 	if b.remaining.Add(-1) == 0 {
-		// Direct dispatch: the last arriver executes the round itself.  The
-		// buffer read below is safe after the generation advances because the
-		// next round cannot complete before this agent submits again.
-		if err := b.executeRound(idx); err != nil {
-			return ring.Observation{}, err
+		// Direct dispatch: the last arriver executes the crossing itself.  Its
+		// own batch may still be incomplete afterwards (another agent's batch
+		// was shorter); then it waits like everyone else.
+		if err := b.executeLeap(idx); err != nil {
+			return 0, 0, err
 		}
-		return b.out.Agents[idx], nil
+		if b.complete[idx].Load() {
+			return b.pend[idx].pos, b.pend[idx].agg, nil
+		}
 	}
 	for spins := 0; ; spins++ {
-		if b.gen.Load() != gen {
-			return b.out.Agents[idx], nil
+		if b.complete[idx].Load() {
+			return b.pend[idx].pos, b.pend[idx].agg, nil
 		}
 		if p := b.failErr.Load(); p != nil {
-			return ring.Observation{}, *p
+			return 0, 0, *p
 		}
 		if spins >= awaitSpins {
 			break
 		}
 		runtime.Gosched()
 	}
-	// Slow path: publish the parked flag, then re-check the generation (the
+	// Slow path: publish the parked flag, then re-check completion (the
 	// Dekker pair with the executor) and block for a token.  Stale tokens
-	// from raced rounds or aborts are absorbed by the re-check loop.
+	// from raced crossings or aborts are absorbed by the re-check loop.
 	b.parked[idx].Store(true)
-	for b.gen.Load() == gen && b.failErr.Load() == nil {
+	for !b.complete[idx].Load() && b.failErr.Load() == nil {
 		<-b.wake[idx]
 	}
 	b.parked[idx].Store(false)
 	if p := b.failErr.Load(); p != nil {
-		return ring.Observation{}, *p
+		return 0, 0, *p
 	}
-	return b.out.Agents[idx], nil
+	return b.pend[idx].pos, b.pend[idx].agg, nil
 }
 
 // leave deregisters an agent whose protocol has returned.  If its departure
-// completes the current round's arrival count, the departing goroutine
-// executes the round on behalf of the agents still waiting.
+// completes the current crossing's arrival count, the departing goroutine
+// executes the crossing on behalf of the agents still waiting.
 func (b *barrier) leave() {
 	if b.remaining.Add(-1) == 0 {
-		b.executeRound(-1)
+		b.executeLeap(-1)
 	}
 }
 
 // abort fails the run (sticky) and wakes every waiting agent; their pending
-// Round calls return the wrapped cause.  Safe to call concurrently with
-// rounds; at most one more round can complete after abort returns.
+// submissions return the wrapped cause.  Safe to call concurrently with
+// crossings; at most one more crossing can complete after abort returns.
 func (b *barrier) abort(cause error) {
 	b.fail(fmt.Errorf("engine: run aborted: %w", cause))
 }
@@ -173,22 +231,35 @@ func (b *barrier) runErr() error {
 	return nil
 }
 
-// executeRound runs one synchronised round with the submitted directions,
-// filling in the default direction (the agent's own clockwise) for agents
-// that are no longer submitting.  selfIdx is the executing agent's ring index
-// when it is itself a submitter of this round, or -1 when the round was
-// completed by a departure.  Called by the goroutine that observed the
-// countdown reach zero; until it advances the generation it is the only
-// goroutine touching the shared round state.
-func (b *barrier) executeRound(selfIdx int) (err error) {
+// executeLeap runs one barrier crossing: the minimum remaining round count
+// over all pending batches, in constant-direction stretches, filling in the
+// default direction (the agent's own clockwise) for agents that are no longer
+// submitting.  selfIdx is the executing agent's ring index when it is itself
+// a submitter, or -1 when the crossing was completed by a departure.  Called
+// by the goroutine that observed the countdown reach zero; until it sets an
+// agent's complete flag it is the only goroutine touching that agent's
+// pending state, and until it re-arms the countdown it is the only goroutine
+// touching the shared round state.
+func (b *barrier) executeLeap(selfIdx int) (err error) {
+	// Crossing hand-off lock: the countdown alone orders the NEXT executor
+	// after the last release of this crossing, but this executor still reads
+	// shared per-agent state (the release scan) after setting the first
+	// complete flags — and the moment the last released agent resubmits, a
+	// new executor may start.  The lock closes that overlap: a new executor
+	// spins (the window is a few hundred instructions) until the previous one
+	// has fully left the release phase.  Everything fail and abort touch is
+	// atomic, so failure paths stay lock-free.
+	for !b.xlock.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
+	defer b.xlock.Store(false)
 	if p := b.failErr.Load(); p != nil {
 		// The run already failed; any waiters were woken by fail.
 		return *p
 	}
-	// A panic while executing the round would otherwise strand every waiter
-	// forever (the generation never advances and nobody else can run a
-	// round): convert it into the sticky run failure so the run unwinds
-	// with an error instead of deadlocking.
+	// A panic while executing the crossing would otherwise strand every
+	// waiter forever: convert it into the sticky run failure so the run
+	// unwinds with an error instead of deadlocking.
 	defer func() {
 		if r := recover(); r != nil {
 			b.nw.broken = fmt.Errorf("round execution panicked: %v", r)
@@ -199,24 +270,26 @@ func (b *barrier) executeRound(selfIdx int) (err error) {
 		testHookExecuteRound()
 	}
 	nw := b.nw
-	// Count this round's submitters and clear their flags while no waiter
-	// can yet be released (the generation has not advanced): a spinning
-	// waiter resubmits immediately after observing the new generation, so
-	// its flag must not be touched after the bump.
-	active := 0
-	for i := range b.dirs {
-		if b.submitted[i] {
-			b.submitted[i] = false
-			active++
-		} else {
+	n := len(b.pend)
+
+	// The leap length is the minimum remaining count across pending batches;
+	// agents that left get their default direction, constant for the whole
+	// crossing.
+	active, kmin := 0, 0
+	for i := 0; i < n; i++ {
+		if !b.submitted[i] {
 			b.dirs[i] = nw.objectiveDir(i, ring.Clockwise)
+			continue
+		}
+		active++
+		if k := b.pend[i].k - b.pend[i].pos; active == 1 || k < kmin {
+			kmin = k
 		}
 	}
 	if active == 0 {
 		// Every agent has left; the run is over and nobody is waiting.  This
 		// must precede the error checks: a protocol that terminates after
-		// consuming exactly the round budget has not exceeded anything (the
-		// v1 coordinator likewise only errored with requests pending).
+		// consuming exactly the round budget has not exceeded anything.
 		return nil
 	}
 	if nw.state.Rounds() >= nw.cfg.MaxRounds {
@@ -225,27 +298,150 @@ func (b *barrier) executeRound(selfIdx int) (err error) {
 	if nw.broken != nil {
 		return b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, nw.broken))
 	}
-	if err := nw.state.ExecuteRoundInto(b.dirs, &b.out); err != nil {
-		// Should be impossible: directions are validated per agent before
-		// submission.  Mark the network broken and fail everyone.
-		nw.broken = err
-		return b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, err))
+	if budget := nw.cfg.MaxRounds - nw.state.Rounds(); kmin > budget {
+		// The round budget ends inside the leap.  Execute what fits — keeping
+		// the state's round count identical to the per-round path — and let
+		// the completion scan below fail the run if no batch fits the budget.
+		kmin = budget
 	}
-	// Re-arm the countdown for the next round before releasing anyone: the
-	// submitters of this round are exactly the agents still active.  The
-	// generation bump releases the spinning waiters; parked waiters
-	// additionally need a token, sent after the bump so a consumed token
-	// always finds the new generation (Dekker: a waiter that parks after the
-	// scan below is guaranteed to observe the advanced generation first).
-	// After the bump only the atomic parked flags and the wake channels may
-	// be touched: a departing agent's executeRound runs concurrently with
-	// the next round once its waiters resubmit, so the shared round state is
-	// off limits.  Tokens sent to waiters already parked for the next round
-	// are absorbed by their re-check loop.
-	b.remaining.Store(int32(active))
-	b.gen.Add(1)
-	for i := range b.parked {
-		if i != selfIdx && b.parked[i].Load() {
+
+	// Execute the leap in stretches over which every agent's direction is
+	// constant, so each stretch is a single closed-form step.
+	for done := 0; done < kmin; {
+		stretch := kmin - done
+		for i := 0; i < n; i++ {
+			if !b.submitted[i] {
+				continue // default direction, already constant in b.dirs[i]
+			}
+			p := &b.pend[i]
+			if p.dirs == nil {
+				b.dirs[i] = p.dir
+				continue
+			}
+			// p.pos is kept current across stretches, so it is the cursor
+			// into the schedule.
+			d := p.dirs[p.pos]
+			b.dirs[i] = d
+			run := 1
+			for run < stretch && p.dirs[p.pos+run] == d {
+				run++
+			}
+			if run < stretch {
+				stretch = run
+			}
+		}
+		// Armed stop conditions clamp the stretch so no batch overshoots the
+		// round its per-round equivalent would have stopped at.
+		r := ring.RotationIndex(n, b.dirs)
+		for i := 0; i < n; i++ {
+			if b.submitted[i] && b.pend[i].stop {
+				p := &b.pend[i]
+				if j := nw.state.StopRound(nw.state.Slot(i), r, p.objDisp, p.stopTarget, stretch); j > 0 && j < stretch {
+					stretch = j
+				}
+			}
+		}
+
+		if stretch == 1 {
+			if err := nw.state.ExecuteRoundInto(b.dirs, &b.out); err != nil {
+				nw.broken = err
+				return b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, err))
+			}
+			for i := 0; i < n; i++ {
+				if !b.submitted[i] {
+					continue
+				}
+				p := &b.pend[i]
+				obs := b.out.Agents[i]
+				if p.trace != nil {
+					p.trace[p.pos] = obs
+				}
+				p.agg += obs.DistCW
+				if p.agg >= b.full {
+					p.agg -= b.full
+				}
+				p.objDisp += obs.DistCW
+				if p.objDisp >= b.full {
+					p.objDisp -= b.full
+				}
+				p.pos++
+			}
+		} else {
+			if err := nw.state.ExecuteRoundsInto(b.dirs, stretch, &b.leap); err != nil {
+				nw.broken = err
+				return b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, err))
+			}
+			for i := 0; i < n; i++ {
+				if !b.submitted[i] {
+					continue
+				}
+				p := &b.pend[i]
+				if p.trace != nil {
+					for j := 0; j < stretch; j++ {
+						p.trace[p.pos+j] = b.leap.Observe(i, j)
+					}
+				}
+				delta := b.leap.Displacement(i, stretch)
+				p.agg = (p.agg + delta) % b.full
+				p.objDisp = (p.objDisp + delta) % b.full
+				p.pos += stretch
+			}
+		}
+		// A batch whose stop condition just hit is complete regardless of its
+		// remaining count; the stretch was clamped so the hit is exactly at
+		// the stretch boundary.  An early stop also ends the whole crossing:
+		// the model needs every agent to act in every round, so no further
+		// round can execute until the stopped agent submits again (or
+		// leaves).
+		stopped := false
+		for i := 0; i < n; i++ {
+			if b.submitted[i] {
+				if p := &b.pend[i]; p.stop && p.pos < p.k && p.objDisp == p.stopTarget {
+					p.k = p.pos
+					stopped = true
+				}
+			}
+		}
+		done += stretch
+		ctrRounds.Add(uint64(stretch))
+		if stopped {
+			break
+		}
+	}
+	ctrCrossings.Add(1)
+
+	// Release phase.  Count completions first and re-arm the countdown before
+	// the first complete flag is set: a released agent may resubmit (and
+	// decrement the countdown) the moment its flag goes up.
+	next := 0
+	for i := 0; i < n; i++ {
+		if b.submitted[i] && b.pend[i].pos == b.pend[i].k {
+			next++
+		}
+	}
+	if next == 0 {
+		// Only reachable when the round budget clamped the leap below every
+		// pending batch: nobody can be released, matching the per-round path
+		// where the next submission would exceed the budget.
+		return b.fail(fmt.Errorf("%w (%d)", ErrMaxRoundsExceed, nw.cfg.MaxRounds))
+	}
+	b.remaining.Store(int32(next))
+	for i := 0; i < n; i++ {
+		if b.submitted[i] && b.pend[i].pos == b.pend[i].k {
+			// Clear the submission before raising the flag: after the flag the
+			// agent owns its slot again and this goroutine never touches it.
+			b.submitted[i] = false
+			b.complete[i].Store(true)
+		}
+	}
+	// Token phase: only the atomic flags and channels may be touched from
+	// here on — released agents can resubmit, complete the next countdown and
+	// have a new executor mutating the shared round state concurrently.
+	// Tokens go to parked waiters whose batch is complete (parked waiters
+	// mid-batch stay parked); an extra token from a raced crossing is
+	// absorbed by the waiter's re-check loop.
+	for i := 0; i < n; i++ {
+		if i != selfIdx && b.parked[i].Load() && b.complete[i].Load() {
 			select {
 			case b.wake[i] <- struct{}{}:
 			default:

@@ -1,0 +1,38 @@
+package engine
+
+import "sync/atomic"
+
+// Process-wide execution totals of the round runtimes, exported so serving
+// layers (ringd /metrics) can report engine throughput without reaching into
+// individual networks.  Rounds counts synchronised rounds executed on the
+// analytic engine; crossings counts barrier crossings (leap batches) — one
+// crossing executes one or more rounds, so rounds/crossings is the mean leap
+// length and the direct measure of how much the batched submission API is
+// collapsing barrier traffic.
+var (
+	ctrRounds    atomic.Uint64
+	ctrCrossings atomic.Uint64
+)
+
+// Counters is a snapshot of the process-wide execution totals.
+type Counters struct {
+	// Rounds is the total number of synchronised rounds executed.
+	Rounds uint64 `json:"rounds"`
+	// LeapBatches is the total number of barrier crossings (leap batches)
+	// that executed those rounds.
+	LeapBatches uint64 `json:"leap_batches"`
+	// MeanRoundsPerCrossing is Rounds / LeapBatches (0 when nothing ran).
+	MeanRoundsPerCrossing float64 `json:"mean_rounds_per_crossing"`
+}
+
+// CounterSnapshot returns the current process-wide execution totals.
+func CounterSnapshot() Counters {
+	// Executors add to ctrRounds before ctrCrossings, so loading crossings
+	// first keeps Rounds >= LeapBatches in the snapshot even when crossings
+	// land between the two loads.
+	c := Counters{LeapBatches: ctrCrossings.Load(), Rounds: ctrRounds.Load()}
+	if c.LeapBatches > 0 {
+		c.MeanRoundsPerCrossing = float64(c.Rounds) / float64(c.LeapBatches)
+	}
+	return c
+}

@@ -128,14 +128,6 @@ type Network struct {
 	broken  error
 }
 
-// dispatcher is the mechanism through which an agent's Round submission
-// reaches the analytic engine.  The v2 runtime dispatches directly at a
-// barrier; the retained v1 runtime rendezvouses with a coordinator goroutine
-// over channels (legacy.go).
-type dispatcher interface {
-	await(idx int, dir ring.Direction) (ring.Observation, error)
-}
-
 // Agent is the handle through which a protocol acts.  An Agent is only valid
 // inside the protocol invocation it was created for and must not be shared
 // across goroutines.
@@ -151,6 +143,13 @@ type Agent struct {
 	fullCircle int64
 	rounds     int
 	disp       int64
+
+	// Scratch buffers reused across batched submissions: objBuf receives the
+	// executor-written objective observations, dirBuf holds the objective
+	// translation of a schedule.  Both stay stable while the agent is blocked
+	// in the dispatcher, which is the only time the executor reads them.
+	objBuf []ring.Observation
+	dirBuf []ring.Direction
 }
 
 // New validates cfg and builds the network.
@@ -431,27 +430,49 @@ func (a *Agent) RoundsUsed() int { return a.rounds }
 // initial and its current position by summing its dist() observations.
 func (a *Agent) Displacement() int64 { return a.disp }
 
-// Round submits the agent's chosen direction (in its own frame) for the next
-// round, blocks until the round has been executed, and returns the agent's
-// observation translated into its own frame.
-func (a *Agent) Round(dir ring.Direction) (Observation, error) {
+// checkDir validates a direction an agent is about to submit.
+func (a *Agent) checkDir(dir ring.Direction) error {
 	switch dir {
 	case ring.Clockwise, ring.Anticlockwise:
+		return nil
 	case ring.Idle:
 		if !a.model.AllowsIdle() {
-			return Observation{}, ErrIdleNotAllowed
+			return ErrIdleNotAllowed
 		}
+		return nil
 	default:
-		return Observation{}, fmt.Errorf("%w: %d", ErrBadDirection, int8(dir))
+		return fmt.Errorf("%w: %d", ErrBadDirection, int8(dir))
 	}
-	objective := dir
+}
+
+// objective translates an own-frame direction into the global frame.
+func (a *Agent) objective(dir ring.Direction) ring.Direction {
 	if !a.chirality && dir != ring.Idle {
-		objective = dir.Opposite()
+		return dir.Opposite()
 	}
-	rep, err := a.d.await(a.idx, objective)
-	if err != nil {
-		return Observation{}, err
+	return dir
+}
+
+// objDisp returns the agent's cumulative displacement re-expressed in the
+// global clockwise direction (half-ticks, mod the full circle).
+func (a *Agent) objDisp(own int64) int64 {
+	if a.chirality || own == 0 {
+		return own
 	}
+	return a.fullCircle - own
+}
+
+// obsScratch returns the agent-owned objective observation buffer, sized k.
+func (a *Agent) obsScratch(k int) []ring.Observation {
+	if cap(a.objBuf) < k {
+		a.objBuf = make([]ring.Observation, k)
+	}
+	return a.objBuf[:k]
+}
+
+// absorb translates one objective observation into the agent's frame and
+// folds it into the agent's round and displacement accounting.
+func (a *Agent) absorb(rep ring.Observation) Observation {
 	a.rounds++
 	obs := Observation{Collided: rep.Collided, Coll: rep.Coll}
 	if a.chirality || rep.DistCW == 0 {
@@ -465,5 +486,150 @@ func (a *Agent) Round(dir ring.Direction) (Observation, error) {
 	if a.disp >= a.fullCircle {
 		a.disp -= a.fullCircle
 	}
-	return obs, nil
+	return obs
+}
+
+// Round submits the agent's chosen direction (in its own frame) for the next
+// round, blocks until the round has been executed, and returns the agent's
+// observation translated into its own frame.  Round is the degenerate
+// single-round case of the batched submission API (RoundN and friends).
+func (a *Agent) Round(dir ring.Direction) (Observation, error) {
+	if err := a.checkDir(dir); err != nil {
+		return Observation{}, err
+	}
+	buf := a.obsScratch(1)
+	if _, _, err := a.d.awaitBatch(a.idx, batch{dir: a.objective(dir), k: 1, trace: buf}); err != nil {
+		return Observation{}, err
+	}
+	return a.absorb(buf[0]), nil
+}
+
+// finishTrace translates the executed prefix of the objective trace into the
+// agent's frame, writing into dst from index 0 (existing contents are
+// overwritten; only dst's capacity is reused).
+func (a *Agent) finishTrace(executed int, dst []Observation) []Observation {
+	if cap(dst) < executed {
+		dst = make([]Observation, executed)
+	}
+	dst = dst[:executed]
+	for j := 0; j < executed; j++ {
+		dst[j] = a.absorb(a.objBuf[j])
+	}
+	return dst
+}
+
+// RoundN submits the same direction (in the agent's own frame) for k
+// consecutive rounds as one leap batch: the runtime executes the whole
+// constant-direction stretch without waking the agent in between, in closed
+// form where the other agents' directions allow it.  It returns the per-round
+// observation trace, exactly what k sequential Round calls would have
+// returned.
+func (a *Agent) RoundN(dir ring.Direction, k int) ([]Observation, error) {
+	return a.RoundNInto(dir, k, nil)
+}
+
+// RoundNInto is RoundN writing the trace into dst from index 0, reusing its
+// capacity and overwriting any existing contents; a caller
+// that keeps the same buffer across batches submits without allocation.
+func (a *Agent) RoundNInto(dir ring.Direction, k int, dst []Observation) ([]Observation, error) {
+	if err := a.checkDir(dir); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("engine: %w: got %d", ring.ErrBadRoundCount, k)
+	}
+	buf := a.obsScratch(k)
+	executed, _, err := a.d.awaitBatch(a.idx, batch{dir: a.objective(dir), k: k, trace: buf})
+	if err != nil {
+		return nil, err
+	}
+	return a.finishTrace(executed, dst), nil
+}
+
+// RoundNSum is the aggregate form of RoundN for callers that only need the
+// cumulative displacement of the stretch: no per-round trace is materialised
+// (the runtime derives the total in O(1) per leap), and the return value is
+// the agent's displacement over the k rounds, measured in its own clockwise
+// direction modulo the full circle.
+func (a *Agent) RoundNSum(dir ring.Direction, k int) (int64, error) {
+	if err := a.checkDir(dir); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("engine: %w: got %d", ring.ErrBadRoundCount, k)
+	}
+	_, agg, err := a.d.awaitBatch(a.idx, batch{dir: a.objective(dir), k: k})
+	if err != nil {
+		return 0, err
+	}
+	own := agg
+	if !a.chirality && agg != 0 {
+		own = a.fullCircle - agg
+	}
+	a.rounds += k
+	a.disp = (a.disp + own) % a.fullCircle
+	return own, nil
+}
+
+// RoundUntil is RoundN with an early-stop condition: the batch ends after the
+// first round at which the agent's cumulative run displacement (the value
+// Displacement would report) equals target, even if fewer than k rounds have
+// executed; the trace covers exactly the executed rounds.  The runtime solves
+// the stop in closed form, so the batch never overshoots the round at which
+// the equivalent per-round loop — Round until Displacement() == target —
+// would have stopped.  When no round in the batch reaches target, all k
+// rounds execute.
+func (a *Agent) RoundUntil(dir ring.Direction, target int64, k int, dst []Observation) ([]Observation, error) {
+	if err := a.checkDir(dir); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("engine: %w: got %d", ring.ErrBadRoundCount, k)
+	}
+	if target < 0 || target >= a.fullCircle {
+		return nil, fmt.Errorf("engine: displacement target %d outside [0, %d)", target, a.fullCircle)
+	}
+	buf := a.obsScratch(k)
+	executed, _, err := a.d.awaitBatch(a.idx, batch{
+		dir:        a.objective(dir),
+		k:          k,
+		trace:      buf,
+		stop:       true,
+		stopTarget: a.objDisp(target),
+		objDisp:    a.objDisp(a.disp),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a.finishTrace(executed, dst), nil
+}
+
+// RoundSchedule submits a whole per-round direction schedule (in the agent's
+// own frame) as one batch: the runtime executes all len(dirs) rounds without
+// waking the agent in between, leaping over the constant-direction stretches
+// of the schedule.  It returns the per-round observation trace, exactly what
+// sequential Round calls over dirs would have returned.  Use it when the
+// agent knows its upcoming directions in advance (broadcasts, communication
+// phases); schedules of different agents need not agree — the barrier splits
+// the leap wherever batch lengths or directions require.
+func (a *Agent) RoundSchedule(dirs []ring.Direction, dst []Observation) ([]Observation, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("engine: %w: empty schedule", ring.ErrBadRoundCount)
+	}
+	if cap(a.dirBuf) < len(dirs) {
+		a.dirBuf = make([]ring.Direction, len(dirs))
+	}
+	sched := a.dirBuf[:len(dirs)]
+	for i, d := range dirs {
+		if err := a.checkDir(d); err != nil {
+			return nil, err
+		}
+		sched[i] = a.objective(d)
+	}
+	buf := a.obsScratch(len(dirs))
+	executed, _, err := a.d.awaitBatch(a.idx, batch{dirs: sched, k: len(dirs), trace: buf})
+	if err != nil {
+		return nil, err
+	}
+	return a.finishTrace(executed, dst), nil
 }

@@ -31,12 +31,44 @@ type roundReply struct {
 type channelDispatcher struct {
 	reqCh   chan<- roundRequest
 	replies []chan roundReply
+	full    int64
 }
 
 func (c *channelDispatcher) await(idx int, dir ring.Direction) (ring.Observation, error) {
 	c.reqCh <- roundRequest{idx: idx, dir: dir, reply: c.replies[idx]}
 	rep := <-c.replies[idx]
 	return rep.obs, rep.err
+}
+
+// awaitBatch runs a batched submission one round at a time through the v1
+// rendezvous: observable behaviour (trace, displacement, stop round) is
+// identical to the v2 leap path, only the synchronisation substrate differs,
+// which is exactly what makes RunLegacy the differential baseline for leap
+// execution.
+func (c *channelDispatcher) awaitBatch(idx int, b batch) (int, int64, error) {
+	executed := 0
+	var agg int64
+	objDisp := b.objDisp
+	for executed < b.k {
+		dir := b.dir
+		if b.dirs != nil {
+			dir = b.dirs[executed]
+		}
+		rep, err := c.await(idx, dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		if b.trace != nil {
+			b.trace[executed] = rep
+		}
+		agg = (agg + rep.DistCW) % c.full
+		objDisp = (objDisp + rep.DistCW) % c.full
+		executed++
+		if b.stop && objDisp == b.stopTarget {
+			break
+		}
+	}
+	return executed, agg, nil
 }
 
 // RunLegacy executes protocol on every agent with the v1 channel-rendezvous
@@ -51,7 +83,7 @@ func RunLegacy[T any](nw *Network, protocol func(a *Agent) (T, error)) (*Result[
 	n := nw.N()
 	startRounds := nw.state.Rounds()
 	reqCh := make(chan roundRequest)
-	d := &channelDispatcher{reqCh: reqCh, replies: make([]chan roundReply, n)}
+	d := &channelDispatcher{reqCh: reqCh, replies: make([]chan roundReply, n), full: nw.state.FullCircle()}
 	for i := range d.replies {
 		d.replies[i] = make(chan roundReply, 1)
 	}
@@ -143,6 +175,8 @@ func (nw *Network) coordinateLegacy(reqCh <-chan roundRequest, n int) error {
 			}
 			continue
 		}
+		ctrRounds.Add(1)
+		ctrCrossings.Add(1)
 		for _, req := range pending {
 			req.reply <- roundReply{obs: out.Agents[req.idx]}
 		}

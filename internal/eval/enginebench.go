@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"math"
+	"time"
+
+	"ringsym/internal/engine"
+	"ringsym/internal/netgen"
+	"ringsym/internal/ring"
+)
+
+// EngineSweepProtocol is the agent protocol of the constant-direction sweep
+// workload shared by the engine throughput benchmarks (BenchmarkEngineLeap /
+// BenchmarkEngineLeapSingle in the repository root) and the benchtables
+// -engine mode: each agent keeps a direction fixed by the parity of its
+// identifier (both directions present) for the given number of rounds.
+// batch = 1 submits one round per barrier crossing — the per-round path —
+// and larger batches use leap execution via RoundN.  Keeping the single copy
+// here is what entitles EXPERIMENTS.md to claim the benchmark pair and the
+// BENCH_engine.json table measure the same workload.
+func EngineSweepProtocol(rounds, batch int) func(a *engine.Agent) (int, error) {
+	return func(a *engine.Agent) (int, error) {
+		dir := ring.Clockwise
+		if a.ID()%2 == 0 {
+			dir = ring.Anticlockwise
+		}
+		if batch == 1 {
+			for i := 0; i < rounds; i++ {
+				if _, err := a.Round(dir); err != nil {
+					return 0, err
+				}
+			}
+			return 0, nil
+		}
+		var trace []engine.Observation
+		for done := 0; done < rounds; done += batch {
+			k := batch
+			if rounds-done < k {
+				k = rounds - done
+			}
+			var err error
+			trace, err = a.RoundNInto(dir, k, trace[:0])
+			if err != nil {
+				return 0, err
+			}
+		}
+		return len(trace), nil
+	}
+}
+
+// EngineSweepNetwork builds the uncapped perceptive network the engine
+// throughput workload runs on.
+func EngineSweepNetwork(n int, seed int64) (*engine.Network, error) {
+	cfg := netgen.MustGenerate(netgen.Options{N: n, Seed: seed, Model: ring.Perceptive})
+	cfg.MaxRounds = math.MaxInt
+	return engine.New(cfg)
+}
+
+// MeasureEngineSweep runs the constant-direction sweep workload and returns
+// the wall-clock rounds/sec.
+func MeasureEngineSweep(n int, seed int64, rounds, batch int) (float64, error) {
+	nw, err := EngineSweepNetwork(n, seed)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := engine.Run(nw, EngineSweepProtocol(rounds, batch)); err != nil {
+		return 0, err
+	}
+	return float64(rounds) / time.Since(start).Seconds(), nil
+}

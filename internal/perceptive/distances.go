@@ -5,6 +5,7 @@ import (
 
 	"ringsym/internal/arcsolve"
 	"ringsym/internal/core"
+	"ringsym/internal/engine"
 	"ringsym/internal/ring"
 )
 
@@ -103,12 +104,12 @@ func Distances(f *core.Frame, label, n int) (gaps []int64, finalOffset int, err 
 	rel := label - 1
 	offset := 0
 
-	execute := func(dirOf func(label int) ring.Direction, rotation int) error {
+	// record folds one round's observation into the solver: the dist()
+	// equation of the round's rotation and, on a collision, the coll()
+	// equation against the nearest oppositely-moving agent (identifiable
+	// because the schedule is a function of the public labels).
+	record := func(dirOf func(label int) ring.Direction, rotation int, obs engine.Observation) error {
 		myDir := dirOf(label)
-		obs, err := f.Round(myDir)
-		if err != nil {
-			return err
-		}
 		cur := ((rel+offset)%n + n) % n
 		if rotation%n != 0 {
 			if err := solver.AddArc(cur, rotation%n, obs.Dist); err != nil {
@@ -130,21 +131,55 @@ func Distances(f *core.Frame, label, n int) (gaps []int64, finalOffset int, err 
 		return nil
 	}
 
+	execute := func(dirOf func(label int) ring.Direction, rotation int) error {
+		obs, err := f.Round(dirOf(label))
+		if err != nil {
+			return err
+		}
+		return record(dirOf, rotation, obs)
+	}
+
 	convolution := func(t int) error {
 		e := convolutionException(n, t)
 		return execute(func(l int) ring.Direction { return convolutionDir(l, e) }, convolutionRotation(n))
 	}
 
+	// The paper's main schedule — ⌈n/2⌉ Convolution rounds plus, for even n,
+	// the three Pivot rounds — is fixed by the public labels alone, so every
+	// agent submits it as a single leap batch and runs the equation
+	// bookkeeping over the returned trace.
+	type schedRound struct {
+		dirOf    func(label int) ring.Direction
+		rotation int
+	}
+	var sched []schedRound
 	for t := 1; t <= (n+1)/2; t++ {
-		if err := convolution(t); err != nil {
-			return nil, 0, err
-		}
+		e := convolutionException(n, t)
+		sched = append(sched, schedRound{
+			dirOf:    func(l int) ring.Direction { return convolutionDir(l, e) },
+			rotation: convolutionRotation(n),
+		})
 	}
 	if n%2 == 0 {
 		for _, p := range []int{n, n - 1, n - 2} {
-			if err := execute(func(l int) ring.Direction { return pivotDir(l, p, n) }, 0); err != nil {
-				return nil, 0, err
-			}
+			p := p
+			sched = append(sched, schedRound{
+				dirOf:    func(l int) ring.Direction { return pivotDir(l, p, n) },
+				rotation: 0,
+			})
+		}
+	}
+	dirs := make([]ring.Direction, len(sched))
+	for t, sr := range sched {
+		dirs[t] = sr.dirOf(label)
+	}
+	trace, err := f.RoundSchedule(dirs, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	for t, sr := range sched {
+		if err := record(sr.dirOf, sr.rotation, trace[t]); err != nil {
+			return nil, 0, err
 		}
 	}
 

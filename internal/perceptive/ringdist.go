@@ -55,21 +55,23 @@ func RingDist(link *rcomm.Link, isLeader bool) (label int, isLast bool, err erro
 		label = 1 + left.Hops
 	}
 
-	// shift executes one round of Shift(l) (for l > 0) or Shift(-|l|) (for
-	// l < 0): agents with a known label at most |l| move clockwise (resp.
-	// anticlockwise), everybody else the other way.
-	shift := func(l int) (engine.Observation, error) {
+	// shiftDir is the agent's direction in one round of Shift(l) (for l > 0)
+	// or Shift(-|l|) (for l < 0): agents with a known label at most |l| move
+	// clockwise (resp. anticlockwise), everybody else the other way.
+	shiftDir := func(l int) ring.Direction {
 		limit := l
 		inside := ring.Clockwise
 		if l < 0 {
 			limit = -l
 			inside = ring.Anticlockwise
 		}
-		dir := inside.Opposite()
 		if label != 0 && label <= limit {
-			dir = inside
+			return inside
 		}
-		return f.Round(dir)
+		return inside.Opposite()
+	}
+	shift := func(l int) (engine.Observation, error) {
+		return f.Round(shiftDir(l))
 	}
 
 	for k := 2; ; k *= 2 {
@@ -77,24 +79,24 @@ func RingDist(link *rcomm.Link, isLeader bool) (label int, isLast bool, err erro
 			return 0, false, fmt.Errorf("%w: RingDist exceeded the identifier bound", ErrExhausted)
 		}
 		// Phase A: k executions of Shift(-k/2); record the anticlockwise
-		// displacement of each.
+		// displacement of each.  The agent's direction is constant for the
+		// whole phase (labels only change in phase C), so the k rounds are
+		// one leap batch — and so is the undo phase, whose observations are
+		// discarded and therefore only need the aggregate form.
+		trace, err := f.RoundN(shiftDir(-(k / 2)), k)
+		if err != nil {
+			return 0, false, err
+		}
 		ys := make([]int64, 0, k)
-		for j := 0; j < k; j++ {
-			obs, err := shift(-(k / 2))
-			if err != nil {
-				return 0, false, err
-			}
+		for _, obs := range trace {
 			y := int64(0)
 			if obs.Dist != 0 {
 				y = f.FullCircle() - obs.Dist
 			}
 			ys = append(ys, y)
 		}
-		// Undo phase A.
-		for j := 0; j < k; j++ {
-			if _, err := shift(k / 2); err != nil {
-				return 0, false, err
-			}
+		if _, err := f.RoundNSum(shiftDir(k/2), k); err != nil {
+			return 0, false, err
 		}
 		// Phase B: Shift(k) yields the first-collision distance z; Shift(-k)
 		// undoes it.
@@ -174,17 +176,24 @@ func BroadcastSize(f *core.Frame, isLast bool, ownLabel int) (int, error) {
 	if isLast {
 		value = uint64(ownLabel)
 	}
-	var received uint64
+	// The full schedule — one information round plus one reversed round per
+	// bit — depends only on the broadcaster's own value, so the whole
+	// broadcast is one leap batch.
+	dirs := make([]ring.Direction, 0, 2*bits)
 	for i := 0; i < bits; i++ {
 		dir := ring.Anticlockwise
 		if isLast && (value>>i)&1 == 1 {
 			dir = ring.Clockwise
 		}
-		obs, err := f.RoundPair(dir)
-		if err != nil {
-			return 0, err
-		}
-		if obs.Dist != 0 {
+		dirs = append(dirs, dir, dir.Opposite())
+	}
+	trace, err := f.RoundSchedule(dirs, nil)
+	if err != nil {
+		return 0, err
+	}
+	var received uint64
+	for i := 0; i < bits; i++ {
+		if trace[2*i].Dist != 0 {
 			received |= 1 << i
 		}
 	}

@@ -16,6 +16,10 @@ import (
 type Link struct {
 	frame *core.Frame
 	nb    Neighbors
+
+	// Scratch buffers reused by the batched exchange primitives.
+	schedBuf []ring.Direction
+	obsBuf   []engine.Observation
 }
 
 // NewLink builds a Link for the given frame from its neighbour information.
@@ -41,25 +45,30 @@ func (l *Link) Neighbors() Neighbors { return l.nb }
 
 // ExchangeBit implements Proposition 31: the agent transmits one bit to both
 // neighbours and learns the bit transmitted by each of them.  Cost: 4 rounds
-// (two information rounds, each followed by a reversed round).
+// (two information rounds, each followed by a reversed round), submitted as
+// one leap batch.
 func (l *Link) ExchangeBit(bit int) (left, right int, err error) {
 	if bit != 0 && bit != 1 {
 		return 0, 0, fmt.Errorf("rcomm: bit must be 0 or 1, got %d", bit)
 	}
-	// Round 1: move frame-clockwise when the bit is 1; round 2: the reverse.
+	lw, rw, err := l.ExchangeWord(uint64(bit), 1)
+	return int(lw), int(rw), err
+}
+
+// appendBitSchedule appends the 4-round schedule of one bit exchange: the
+// information round (frame-clockwise iff the bit is 1) with its reversed
+// round, then the opposite information round with its reversed round.
+func appendBitSchedule(sched []ring.Direction, bit uint64) []ring.Direction {
 	dir1 := ring.Anticlockwise
 	if bit == 1 {
 		dir1 = ring.Clockwise
 	}
-	obs1, err := l.frame.RoundPair(dir1)
-	if err != nil {
-		return 0, 0, err
-	}
-	obs2, err := l.frame.RoundPair(dir1.Opposite())
-	if err != nil {
-		return 0, 0, err
-	}
+	return append(sched, dir1, dir1.Opposite(), dir1.Opposite(), dir1)
+}
 
+// decodeBitExchange recovers the neighbours' bits from the two information
+// rounds of one bit exchange (the observations at schedule offsets 0 and 2).
+func (l *Link) decodeBitExchange(bit uint64, obs1, obs2 engine.Observation) (left, right int) {
 	// In the round where we moved clockwise we probed the right neighbour; in
 	// the other round the left neighbour.
 	cwRound, cwObs := 1, obs1
@@ -75,7 +84,7 @@ func (l *Link) ExchangeBit(bit int) (left, right int, err error) {
 	// direction is opposite to ours; symmetrically for the left neighbour.
 	right = decodeNeighbourBit(cwRound, tight(cwObs, l.nb.RightGap), !l.nb.RightSameSense)
 	left = decodeNeighbourBit(ccwRound, tight(ccwObs, l.nb.LeftGap), l.nb.LeftSameSense)
-	return left, right, nil
+	return left, right
 }
 
 // tight reports whether the observation's first collision happened exactly at
@@ -106,15 +115,28 @@ func decodeNeighbourBit(round int, towards, movedCWTowardsUs bool) int {
 // ExchangeWord transmits a word of the given width (LSB first) to both
 // neighbours and returns the words received from the left and right
 // neighbours.  Cost: 4·bits rounds.
+//
+// The whole schedule depends only on the agent's own word, so all 4·bits
+// rounds are submitted as one leap batch — one barrier crossing per word
+// exchange instead of one per round — and the bits are decoded from the
+// returned trace.  The round sequence is identical to bit-by-bit exchange,
+// so the configuration-restoring property is preserved.
 func (l *Link) ExchangeWord(word uint64, bits int) (left, right uint64, err error) {
 	if bits <= 0 || bits > 63 {
 		return 0, 0, fmt.Errorf("%w: %d bits", ErrBadBits, bits)
 	}
+	sched := l.schedBuf[:0]
 	for i := 0; i < bits; i++ {
-		lb, rb, err := l.ExchangeBit(int((word >> i) & 1))
-		if err != nil {
-			return 0, 0, err
-		}
+		sched = appendBitSchedule(sched, (word>>i)&1)
+	}
+	l.schedBuf = sched
+	trace, err := l.frame.RoundSchedule(sched, l.obsBuf[:0])
+	if err != nil {
+		return 0, 0, err
+	}
+	l.obsBuf = trace
+	for i := 0; i < bits; i++ {
+		lb, rb := l.decodeBitExchange((word>>i)&1, trace[4*i], trace[4*i+2])
 		left |= uint64(lb) << i
 		right |= uint64(rb) << i
 	}

@@ -1,0 +1,230 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// enumerateDirs yields every direction assignment of length n over the given
+// alphabet.
+func enumerateDirs(n int, alphabet []Direction, visit func([]Direction)) {
+	dirs := make([]Direction, n)
+	var rec func(int)
+	rec = func(i int) {
+		if i == n {
+			visit(dirs)
+			return
+		}
+		for _, d := range alphabet {
+			dirs[i] = d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func leapAlphabet(m Model) []Direction {
+	if m.AllowsIdle() {
+		return []Direction{Idle, Clockwise, Anticlockwise}
+	}
+	return []Direction{Clockwise, Anticlockwise}
+}
+
+// checkLeapAgainstSequential executes the same constant-direction stretch on
+// two clones of st — once as k sequential ExecuteRoundInto calls, once as a
+// single ExecuteRoundsInto leap — and demands identical observations for
+// every agent and round, plus identical final offsets and round counts.
+func checkLeapAgainstSequential(t *testing.T, st *State, dirs []Direction, k int) {
+	t.Helper()
+	seq := st.Clone()
+	leapSt := st.Clone()
+
+	var out Outcome
+	type obsKey struct{ i, j int }
+	want := make(map[obsKey]Observation)
+	wantDisp := make(map[obsKey]int64)
+	disp := make([]int64, seq.N())
+	full := seq.FullCircle()
+	for j := 0; j < k; j++ {
+		if err := seq.ExecuteRoundInto(dirs, &out); err != nil {
+			t.Fatalf("sequential round %d: %v", j, err)
+		}
+		for i, obs := range out.Agents {
+			want[obsKey{i, j}] = obs
+			disp[i] = (disp[i] + obs.DistCW) % full
+			wantDisp[obsKey{i, j + 1}] = disp[i]
+		}
+	}
+
+	leap, err := leapSt.ExecuteRounds(dirs, k)
+	if err != nil {
+		t.Fatalf("leap: %v", err)
+	}
+	if leap.K != k {
+		t.Fatalf("leap.K = %d, want %d", leap.K, k)
+	}
+	if leap.Rotation != RotationIndex(st.N(), dirs) {
+		t.Fatalf("leap rotation = %d", leap.Rotation)
+	}
+	if leapSt.Offset() != seq.Offset() {
+		t.Fatalf("offset: leap %d, sequential %d (dirs %v, k %d)", leapSt.Offset(), seq.Offset(), dirs, k)
+	}
+	if leapSt.Rounds() != seq.Rounds() {
+		t.Fatalf("rounds: leap %d, sequential %d", leapSt.Rounds(), seq.Rounds())
+	}
+	for j := 0; j < k; j++ {
+		for i := 0; i < st.N(); i++ {
+			if got, w := leap.Observe(i, j), want[obsKey{i, j}]; got != w {
+				t.Fatalf("agent %d round %d: leap %+v, sequential %+v (dirs %v, offset0 %d)", i, j, got, w, dirs, st.Offset())
+			}
+			if got, w := leap.Displacement(i, j+1), wantDisp[obsKey{i, j + 1}]; got != w {
+				t.Fatalf("agent %d displacement after %d: leap %d, sequential %d", i, j+1, got, w)
+			}
+		}
+	}
+}
+
+// TestLeapMatchesSequentialExhaustive checks the closed form against the
+// per-round engine for every direction assignment on small rings across all
+// three models, several k and a non-zero starting offset.
+func TestLeapMatchesSequentialExhaustive(t *testing.T) {
+	configs := []struct {
+		circ int64
+		pos  []int64
+	}{
+		{12, []int64{0, 3, 4, 9}},
+		{20, []int64{1, 2, 7, 11, 16}},
+		{16, []int64{0, 5, 6, 7, 12, 13}},
+	}
+	for _, model := range []Model{Basic, Lazy, Perceptive} {
+		for _, cfg := range configs {
+			st, err := New(Config{Model: model, Circ: cfg.circ, Positions: cfg.pos, AllowSmall: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A couple of warm-up rounds so offset != 0 is covered too.
+			warm := make([]Direction, st.N())
+			for i := range warm {
+				warm[i] = Clockwise
+			}
+			warm[0] = Anticlockwise
+			if _, err := st.ExecuteRound(warm); err != nil {
+				t.Fatal(err)
+			}
+			n := st.N()
+			enumerateDirs(n, leapAlphabet(model), func(dirs []Direction) {
+				for _, k := range []int{1, 2, 3, n, n + 1, 2*n + 3} {
+					checkLeapAgainstSequential(t, st, dirs, k)
+				}
+			})
+		}
+	}
+}
+
+// TestLeapMatchesSequentialRandom covers larger rings with random gaps and
+// random assignments.
+func TestLeapMatchesSequentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		n := 5 + rng.Intn(40)
+		pos := make([]int64, n)
+		p := int64(0)
+		for i := range pos {
+			p += 1 + int64(rng.Intn(9))
+			pos[i] = p
+		}
+		circ := p + 1 + int64(rng.Intn(9))
+		if circ%2 != 0 {
+			circ++
+		}
+		model := []Model{Basic, Lazy, Perceptive}[rng.Intn(3)]
+		st, err := New(Config{Model: model, Circ: circ, Positions: pos})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs := make([]Direction, n)
+		for i := range dirs {
+			dirs[i] = leapAlphabet(model)[rng.Intn(len(leapAlphabet(model)))]
+		}
+		checkLeapAgainstSequential(t, st, dirs, 1+rng.Intn(3*n))
+	}
+}
+
+// TestLeapRejectsBadInput pins the validation behaviour.
+func TestLeapRejectsBadInput(t *testing.T) {
+	st, err := New(Config{Model: Basic, Circ: 12, Positions: []int64{0, 3, 4, 9}, AllowSmall: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []Direction{Clockwise, Clockwise, Anticlockwise, Clockwise}
+	if _, err := st.ExecuteRounds(dirs, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := st.ExecuteRounds(dirs[:2], 3); err == nil {
+		t.Error("short direction slice accepted")
+	}
+	if _, err := st.ExecuteRounds([]Direction{Idle, Clockwise, Anticlockwise, Clockwise}, 3); err == nil {
+		t.Error("idle accepted in the basic model")
+	}
+	if st.Rounds() != 0 {
+		t.Errorf("failed leaps advanced the state to round %d", st.Rounds())
+	}
+}
+
+// TestStopRoundMatchesScan checks the closed-form stop solver against a
+// brute-force scan of the displacement sequence.
+func TestStopRoundMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 80; iter++ {
+		n := 5 + rng.Intn(20)
+		pos := make([]int64, n)
+		p := int64(0)
+		for i := range pos {
+			p += 1 + int64(rng.Intn(7))
+			pos[i] = p
+		}
+		circ := p + 1 + int64(rng.Intn(7))
+		if circ%2 != 0 {
+			circ++
+		}
+		st, err := New(Config{Model: Basic, Circ: circ, Positions: pos})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs := make([]Direction, n)
+		for i := range dirs {
+			dirs[i] = []Direction{Clockwise, Anticlockwise}[rng.Intn(2)]
+		}
+		r := RotationIndex(n, dirs)
+		k := 1 + rng.Intn(3*n)
+		i := rng.Intn(n)
+		disp0 := 2 * int64(rng.Intn(int(circ)))
+		full := st.FullCircle()
+
+		// Reference: simulate the stretch and scan for the first hit.
+		leap, err := st.Clone().ExecuteRounds(dirs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Try both a target that is hit (some round's displacement) and an
+		// arbitrary target.
+		targets := []int64{
+			(disp0 + leap.Displacement(i, 1+rng.Intn(k))) % full,
+			2 * int64(rng.Intn(int(circ))),
+		}
+		for _, target := range targets {
+			wantJ := 0
+			for j := 1; j <= k; j++ {
+				if (disp0+leap.Displacement(i, j))%full == target {
+					wantJ = j
+					break
+				}
+			}
+			got := st.StopRound(st.Slot(i), r, disp0, target, k)
+			if got != wantJ {
+				t.Fatalf("StopRound(n=%d r=%d i=%d disp0=%d target=%d k=%d) = %d, want %d",
+					n, r, i, disp0, target, k, got, wantJ)
+			}
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"ringsym/internal/campaign"
+	"ringsym/internal/engine"
 	"ringsym/internal/memo"
 )
 
@@ -418,6 +419,11 @@ type Metrics struct {
 	Failed           uint64  `json:"failed"`
 	Cancelled        uint64  `json:"cancelled"`
 	RecordsPerSecond float64 `json:"records_per_second"`
+	// Engine exposes the round runtime's process-wide execution counters:
+	// rounds executed, leap batches (barrier crossings) executed and the mean
+	// rounds per crossing — the live measure of how much leap execution is
+	// collapsing barrier traffic for the scenarios this daemon serves.
+	Engine engine.Counters `json:"engine"`
 	// Cache is present only when the daemon runs with the memo cache.
 	Cache *memo.Stats `json:"cache,omitempty"`
 }
@@ -434,6 +440,7 @@ func (s *Server) Snapshot() Metrics {
 		Records:          s.records.Load(),
 		Failed:           s.failed.Load(),
 		Cancelled:        s.cancelled.Load(),
+		Engine:           engine.CounterSnapshot(),
 	}
 	if uptime > 0 {
 		m.RecordsPerSecond = float64(m.Records) / uptime

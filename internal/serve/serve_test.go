@@ -436,6 +436,18 @@ func TestMetricsEndpoint(t *testing.T) {
 	if m.UptimeSeconds <= 0 || m.RecordsPerSecond <= 0 {
 		t.Fatalf("throughput metrics: %+v", m)
 	}
+	// The engine counters are process-wide, so concurrent tests may have
+	// added to them; the scenario above definitely ran rounds through leap
+	// batches, so all three must be live and consistent.
+	if m.Engine.Rounds == 0 || m.Engine.LeapBatches == 0 {
+		t.Fatalf("engine counters not populated: %+v", m.Engine)
+	}
+	if m.Engine.LeapBatches > m.Engine.Rounds {
+		t.Fatalf("more crossings than rounds: %+v", m.Engine)
+	}
+	if m.Engine.MeanRoundsPerCrossing < 1 {
+		t.Fatalf("mean rounds per crossing %v < 1", m.Engine.MeanRoundsPerCrossing)
+	}
 }
 
 func ExampleServer() {
