@@ -27,11 +27,16 @@
 //	{"models": ["basic", "lazy"], "sizes": [16, 32], "seeds": [1, 2, 3],
 //	 "parities": ["odd", "even"], "chirality": ["mixed", "common"],
 //	 "common_sense": [false, true], "tasks": ["coordinate", "discover"]}
+//
+// Specs are decoded strictly: a typo'd axis name is an error, not a silent
+// fallback to the defaults.  The tasks axis accepts any task registered in
+// internal/task (see ringsim -tasks for the catalogue, or GET /v1/tasks on
+// ringd); it defaults to the tasks the paper states bounds for —
+// coordinate and discover.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -44,6 +49,7 @@ import (
 	"time"
 
 	"ringsym/internal/campaign"
+	"ringsym/internal/task"
 )
 
 func main() {
@@ -51,7 +57,7 @@ func main() {
 	log.SetPrefix("ringfarm: ")
 
 	spec := flag.String("spec", "", "JSON sweep-spec file (overrides the matrix flags)")
-	tasks := flag.String("tasks", "", "comma-separated tasks: coordinate,discover (default both)")
+	tasks := flag.String("tasks", "", "comma-separated registry tasks: "+strings.Join(task.Names(), ",")+" (default: the paper-bound tasks)")
 	models := flag.String("models", "", "comma-separated models: basic,lazy,perceptive (default all)")
 	parities := flag.String("parities", "", "comma-separated parities: odd,even (default both)")
 	chirality := flag.String("chirality", "", "comma-separated chirality regimes: mixed,common (default both)")
@@ -225,13 +231,13 @@ func effectiveWorkers(w, scenarios int) int {
 func buildMatrix(spec, tasks, models, parities, chirality, commonSense, sizes, seeds, phases string, reflect bool, idFactor int) (campaign.Matrix, error) {
 	var m campaign.Matrix
 	if spec != "" {
-		raw, err := os.ReadFile(spec)
+		f, err := os.Open(spec)
 		if err != nil {
 			return m, err
 		}
-		dec := json.NewDecoder(strings.NewReader(string(raw)))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&m); err != nil {
+		defer f.Close()
+		m, err := campaign.DecodeMatrix(f)
+		if err != nil {
 			return m, fmt.Errorf("spec %s: %w", spec, err)
 		}
 		return m, nil

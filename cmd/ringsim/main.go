@@ -7,12 +7,15 @@
 //	ringsim -n 16 -model perceptive -mixed -task discover -seed 3
 //	ringsim -n 8 -model lazy -task coordinate
 //	ringsim -n 8 -task coordinate -json | jq .rounds
-//	ringsim -n 6 -task bounce        # dump the collision events of one round
+//	ringsim -n 6 -task bounce        # collision census of one physics round
+//	ringsim -tasks                   # list the task registry and exit
 //
-// With -json the run is emitted as the machine-readable scenario record of
-// the campaign harness (one campaign.Record JSON object, the same shape as a
-// records.jsonl line of cmd/ringfarm), so single runs are scriptable exactly
-// like sweeps.
+// Every task registered in internal/task is runnable — ringsim dispatches
+// through the same registry as cmd/ringfarm and cmd/ringd, so a new task is
+// immediately available here with no CLI change.  With -json the run is
+// emitted as the machine-readable scenario record of the campaign harness
+// (one campaign.Record JSON object, the same shape as a records.jsonl line of
+// cmd/ringfarm), so single runs are scriptable exactly like sweeps.
 package main
 
 import (
@@ -21,13 +24,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"ringsym"
 	"ringsym/internal/campaign"
-	"ringsym/internal/netgen"
-	"ringsym/internal/physics"
-	"ringsym/internal/ring"
+	"ringsym/internal/task"
 )
 
 func main() {
@@ -38,9 +40,21 @@ func main() {
 	modelName := flag.String("model", "perceptive", "movement model: basic, lazy or perceptive")
 	mixed := flag.Bool("mixed", true, "give agents independent random senses of direction")
 	seed := flag.Int64("seed", 1, "seed for the random configuration")
-	task := flag.String("task", "discover", "task to run: coordinate, discover or bounce")
-	jsonOut := flag.Bool("json", false, "emit the run as a machine-readable campaign record (coordinate/discover only)")
+	taskName := flag.String("task", "discover", "task to run: "+strings.Join(task.Names(), ", "))
+	listTasks := flag.Bool("tasks", false, "list the registered tasks and exit")
+	jsonOut := flag.Bool("json", false, "emit the run as a machine-readable campaign record")
 	flag.Parse()
+
+	if *listTasks {
+		for _, name := range task.Names() {
+			spec, err := task.Lookup(name)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%-12s %s\n", name, spec.Description())
+		}
+		return
+	}
 
 	model, err := parseModel(*modelName)
 	if err != nil {
@@ -48,38 +62,44 @@ func main() {
 	}
 
 	if *jsonOut {
-		if *task != "coordinate" && *task != "discover" {
-			log.Fatalf("-json supports the coordinate and discover tasks, not %q", *task)
-		}
-		runJSON(campaign.Task(*task), *n, *modelName, *mixed, *seed)
+		runJSON(campaign.Task(*taskName), *n, *modelName, *mixed, *seed)
 		return
 	}
 
-	switch *task {
+	// The paper's built-ins keep their rich interactive reports; every other
+	// registered task runs through the campaign record path and prints a
+	// generic summary, so new tasks need no ringsim change at all.
+	switch *taskName {
 	case "coordinate":
 		runCoordinate(*n, model, *mixed, *seed)
 	case "discover":
 		runDiscover(*n, model, *mixed, *seed)
-	case "bounce":
-		runBounce(*n, *seed)
 	default:
-		log.Fatalf("unknown task %q", *task)
+		runGeneric(*taskName, *n, *modelName, *mixed, *seed)
 	}
 }
 
-// runJSON executes the scenario through the campaign runner — the identical
-// generation and verification path a ringfarm sweep uses — and prints the
-// record as one JSON line.  A failed record still prints (with its error
-// field) but exits nonzero, so scripts can branch on the exit status.
-func runJSON(task campaign.Task, n int, model string, mixed bool, seed int64) {
-	rec := campaign.RunScenario(campaign.Scenario{
-		Task:           task,
+// scenarioFor assembles the campaign scenario a ringsim invocation denotes.
+// The task name is lowercased like the model, so the emitted record matches
+// a sweep's byte for byte whatever casing was typed.
+func scenarioFor(taskName campaign.Task, n int, model string, mixed bool, seed int64) campaign.Scenario {
+	return campaign.Scenario{
+		Task:           campaign.Task(strings.ToLower(string(taskName))),
 		Model:          strings.ToLower(model),
 		N:              n,
 		IDBound:        4 * n,
 		MixedChirality: mixed,
 		Seed:           seed,
-	}, campaign.Options{})
+	}
+}
+
+// runJSON executes the scenario through the campaign runner — the identical
+// generation, dispatch and verification path a ringfarm sweep or a ringd
+// request uses — and prints the record as one JSON line.  A failed record
+// still prints (with its error field) but exits nonzero, so scripts can
+// branch on the exit status.
+func runJSON(taskName campaign.Task, n int, model string, mixed bool, seed int64) {
+	rec := campaign.RunScenario(scenarioFor(taskName, n, model, mixed, seed), campaign.Options{})
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(rec); err != nil {
 		log.Fatal(err)
@@ -87,6 +107,33 @@ func runJSON(task campaign.Task, n int, model string, mixed bool, seed int64) {
 	if rec.Status == campaign.StatusFailed {
 		os.Exit(1)
 	}
+}
+
+// runGeneric runs any registry task through the campaign runner and prints a
+// human-readable summary of the record, including the task's extra fields.
+func runGeneric(taskName string, n int, model string, mixed bool, seed int64) {
+	rec := campaign.RunScenario(scenarioFor(campaign.Task(taskName), n, model, mixed, seed), campaign.Options{})
+	switch rec.Status {
+	case campaign.StatusFailed:
+		log.Fatal(rec.Error)
+	case campaign.StatusUnsolvable:
+		fmt.Printf("task=%s model=%s n=%d: not solvable in this setting\n", taskName, rec.Model, rec.N)
+		return
+	}
+	fmt.Printf("task=%s model=%s n=%d mixed-orientation=%v\n", taskName, rec.Model, rec.N, mixed)
+	fmt.Printf("total rounds: %d (bound: %s)\n", rec.Rounds, rec.BoundStr)
+	if rec.LeaderID != 0 {
+		fmt.Printf("leader: agent with ID %d\n", rec.LeaderID)
+	}
+	keys := make([]string, 0, len(rec.Extra))
+	for k := range rec.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s: %s\n", k, rec.Extra[k])
+	}
+	fmt.Println("outcome verified against the simulator's ground truth")
 }
 
 func parseModel(name string) (ringsym.Model, error) {
@@ -144,32 +191,6 @@ func runDiscover(n int, model ringsym.Model, mixed bool, seed int64) {
 			marker, i, a.ID, a.N, a.RoundsCoordination, a.RoundsDiscovery, shorten(a.Positions))
 	}
 	fmt.Println("every agent's map verified against the simulator's ground truth")
-}
-
-func runBounce(n int, seed int64) {
-	cfg := netgen.MustGenerate(netgen.Options{N: n, Circ: 1 << 10, Seed: seed, AllowSmall: true})
-	positions := make([]float64, len(cfg.Positions))
-	for i, p := range cfg.Positions {
-		positions[i] = float64(p)
-	}
-	dirs := make([]ring.Direction, n)
-	for i := range dirs {
-		if i%2 == 0 {
-			dirs[i] = ring.Clockwise
-		} else {
-			dirs[i] = ring.Anticlockwise
-		}
-	}
-	res, err := physics.SimulateRound(float64(cfg.Circ), positions, dirs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("event-driven simulation of one round, n=%d, circumference=%d\n", n, cfg.Circ)
-	fmt.Println("time,position,agentA,agentB")
-	for _, e := range res.Events {
-		fmt.Printf("%.2f,%.2f,%d,%d\n", e.Time, e.Pos, e.A, e.B)
-	}
-	fmt.Printf("# %d collisions in total\n", len(res.Events))
 }
 
 func shorten(v []int64) []int64 {

@@ -3,6 +3,11 @@
 // "beads on a ring" dynamics that underlie the whole paper and for checking
 // the rotation-index lemma by eye: after one round the set of occupied
 // positions is exactly the starting set, shifted by (nC − nA) mod n agents.
+//
+// The same dynamics are the registered task "bounce" (internal/task):
+// `ringsim -task bounce`, a ringfarm `-tasks bounce` sweep or a ringd
+// request all run the collision census through the registry, cache and
+// daemon like any protocol task.
 package main
 
 import (

@@ -4,6 +4,11 @@
 // location discovery and then lets every agent independently compute the same
 // equidistant deployment plan: who has to move where so that the swarm ends
 // up evenly spread, ready to patrol the boundary with optimal idle time.
+//
+// The same workload is the registered task "patrol" (internal/task):
+// `ringsim -task patrol`, a ringfarm `-tasks patrol` sweep or a ringd
+// request all run it through the registry, with the longest relocation
+// exported on every record as extra field "max_relocation".
 package main
 
 import (

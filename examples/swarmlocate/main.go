@@ -3,6 +3,11 @@
 // model localises every member of the swarm in about n/2 rounds (Theorem 42)
 // — roughly half of what the lazy-model sweep needs — and reports where the
 // round budget went.
+//
+// The same workload is the registered task "swarmlocate" (internal/task):
+// `ringsim -task swarmlocate -model perceptive`, a ringfarm `-tasks
+// swarmlocate` sweep or a ringd request all run it through the registry,
+// with the Lemma 6 lower bound exported on every record.
 package main
 
 import (

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"ringsym/internal/memo"
+	"ringsym/internal/task"
 )
 
 // Cache memoises scenario outcomes under their canonical symmetry key: two
@@ -12,14 +13,15 @@ import (
 // translations of each other (and that share the task, the common-sense
 // promise and the protocol-schedule seed) resolve to the same key, so only
 // the first one is executed and the other is answered from the cache with its
-// outcome translated back through the frame map.  Concurrent workers that
-// race on the same key are collapsed by singleflight, and a scenario nobody
-// is waiting for any more is cancelled within one engine round.
+// outcome translated back through the frame map (the task spec's MapOutcome).
+// Concurrent workers that race on the same key are collapsed by singleflight,
+// and a scenario nobody is waiting for any more is cancelled within one
+// engine round.
 //
 // A Cache is safe for concurrent use and may be shared across sweeps and, in
 // the serving daemon, across requests.
 type Cache struct {
-	c *memo.Cache[cachedOutcome]
+	c *memo.Cache[task.Outcome]
 }
 
 // NewCache returns a cache bounded to roughly capacity outcomes (<= 0 selects
@@ -28,7 +30,7 @@ type Cache struct {
 // O(capacity × n) — size the capacity against the largest n served (e.g.
 // ringd's -maxn), not against available memory alone.
 func NewCache(capacity int) *Cache {
-	return &Cache{c: memo.New[cachedOutcome](capacity)}
+	return &Cache{c: memo.New[task.Outcome](capacity)}
 }
 
 // Stats returns a snapshot of the hit/miss/dedup/eviction counters.
@@ -52,22 +54,6 @@ func ParseCacheFlag(s string) (*Cache, error) {
 	return NewCache(capacity), nil
 }
 
-// agentSplit is one agent's per-stage round split, stored for every agent of
-// the canonical run so a cache hit can report the splits of the original
-// frame's agent 0, whatever canonical index it landed on.
-type agentSplit struct {
-	Nontrivial, Agreement, Leader int // coordinate stages
-	Coordination, Discovery       int // discover stages
-}
-
-// cachedOutcome is the frame-independent outcome of one verified scenario
-// run, with per-agent data indexed in the canonical frame.
-type cachedOutcome struct {
-	Rounds   int
-	LeaderID int
-	PerAgent []agentSplit
-}
-
 // cacheKey composes the canonical configuration fingerprint with the
 // task-level inputs that select the protocol pipeline and its pseudo-random
 // schedules.  Everything else that influences the outcome (model, sizes,
@@ -77,22 +63,23 @@ func cacheKey(fingerprint string, sc Scenario) string {
 	return fmt.Sprintf("%s|task=%s|cs=%t|seed=%d", fingerprint, sc.Task, sc.CommonSense, sc.Seed)
 }
 
-// fill populates the outcome fields of a record from a (possibly memoised)
-// canonical outcome; idx0 is the canonical index of the original frame's ring
-// index 0, whose per-stage splits the record reports.
-func (rec *Record) fill(out cachedOutcome, idx0 int) {
+// fill populates the outcome fields of a record from a task outcome whose
+// frame matches the scenario's (the cached path translates through the
+// spec's MapOutcome first): agent 0 of the requesting frame supplies the
+// per-stage splits, and zero-valued stages vanish from the JSON, so each
+// task's records expose exactly its own stage vocabulary.
+func (rec *Record) fill(out task.Outcome) {
 	rec.Rounds = out.Rounds
 	rec.LeaderID = out.LeaderID
-	sp := out.PerAgent[idx0]
-	switch rec.Task {
-	case TaskCoordinate:
+	if len(out.PerAgent) > 0 {
+		sp := out.PerAgent[0]
 		rec.RoundsNontrivial = sp.Nontrivial
 		rec.RoundsAgreement = sp.Agreement
 		rec.RoundsLeader = sp.Leader
-	case TaskDiscover:
 		rec.RoundsCoordination = sp.Coordination
 		rec.RoundsDiscovery = sp.Discovery
 	}
+	rec.Extra = out.Extra
 	rec.Status = StatusOK
 	rec.Verified = true
 }

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -49,7 +50,7 @@ func TestCacheMatchesUncached(t *testing.T) {
 				t.Errorf("%s: unsolvable record touched the cache", got.Key())
 			}
 			want.Wall, got.Wall = 0, 0
-			if want != got {
+			if !reflect.DeepEqual(want, got) {
 				t.Errorf("record %d differs:\ncached: %+v\nplain:  %+v", i, got, want)
 			}
 			continue
@@ -60,7 +61,7 @@ func TestCacheMatchesUncached(t *testing.T) {
 		}
 		got.Cache = ""
 		want.Wall, got.Wall = 0, 0
-		if want != got {
+		if !reflect.DeepEqual(want, got) {
 			t.Errorf("record %d differs:\ncached: %+v\nplain:  %+v", i, got, want)
 		}
 		if want.Status != StatusOK || !want.Verified {
@@ -307,7 +308,7 @@ func TestProbeCache(t *testing.T) {
 	}
 	got.Cache, ran.Cache = "", ""
 	got.Wall, ran.Wall = 0, 0
-	if got != ran {
+	if !reflect.DeepEqual(got, ran) {
 		t.Fatalf("probe record differs from executed record:\nprobe %+v\nran   %+v", got, ran)
 	}
 

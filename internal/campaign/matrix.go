@@ -17,17 +17,22 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
 	"ringsym/internal/ring"
+	"ringsym/internal/task"
 )
 
-// Task selects which protocol pipeline a scenario runs.
+// Task selects which protocol pipeline a scenario runs.  Any name registered
+// in the internal/task registry is a valid value; the constants below name
+// the paper's built-ins for convenience.
 type Task string
 
-// Tasks runnable by the campaign runner.
+// The built-in tasks of the paper (see internal/task for the full registry).
 const (
 	// TaskCoordinate runs the coordination pipeline of the paper (nontrivial
 	// move, direction agreement, leader election).
@@ -108,7 +113,8 @@ func (s Scenario) Key() string {
 // meaningful smoke sweep.  The struct is the JSON sweep-spec format of
 // cmd/ringfarm.
 type Matrix struct {
-	// Tasks to run; defaults to coordinate and discover.
+	// Tasks to run; defaults to every registered task the paper states a
+	// bound for (coordinate and discover).
 	Tasks []Task `json:"tasks,omitempty"`
 	// Models are movement-model names; defaults to basic, lazy, perceptive.
 	Models []string `json:"models,omitempty"`
@@ -140,7 +146,12 @@ type Matrix struct {
 
 func (m Matrix) filled() Matrix {
 	if len(m.Tasks) == 0 {
-		m.Tasks = []Task{TaskCoordinate, TaskDiscover}
+		// All registered tasks with a paper bound, in sorted (deterministic)
+		// name order; today that is exactly {coordinate, discover}, so default
+		// sweeps stay byte-identical as the registry grows derived workloads.
+		for _, name := range task.PaperBoundNames() {
+			m.Tasks = append(m.Tasks, Task(name))
+		}
 	}
 	if len(m.Models) == 0 {
 		m.Models = []string{"basic", "lazy", "perceptive"}
@@ -170,6 +181,24 @@ func (m Matrix) filled() Matrix {
 		m.IDBoundFactor = 4
 	}
 	return m
+}
+
+// DecodeMatrix decodes one JSON sweep spec (the Matrix format of
+// cmd/ringfarm and POST /v1/campaign) strictly: unknown fields are an error,
+// not silence, so a typo'd axis name ("task" for "tasks", "size" for
+// "sizes") cannot quietly sweep the defaults instead of what was asked for.
+// Trailing data after the spec object is rejected for the same reason.
+func DecodeMatrix(r io.Reader) (Matrix, error) {
+	var m Matrix
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Matrix{}, fmt.Errorf("campaign: sweep spec: %w (axes: tasks, models, parities, chirality, common_sense, sizes, seeds, phases, reflections, id_bound_factor)", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Matrix{}, fmt.Errorf("campaign: sweep spec: trailing data after the spec object")
+	}
+	return m, nil
 }
 
 // ParseModel maps a movement-model name to its ring.Model.
@@ -209,8 +238,8 @@ func (m Matrix) Expand() ([]Scenario, error) {
 	tasks := make([]Task, len(f.Tasks))
 	for i, t := range f.Tasks {
 		tasks[i] = Task(strings.ToLower(string(t)))
-		if tasks[i] != TaskCoordinate && tasks[i] != TaskDiscover {
-			return nil, fmt.Errorf("campaign: unknown task %q", t)
+		if _, err := task.Lookup(string(tasks[i])); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
 		}
 	}
 	f.Tasks = tasks

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -126,5 +127,34 @@ func TestParseShard(t *testing.T) {
 		if _, _, err := ParseShard(s); err == nil {
 			t.Errorf("ParseShard(%q) accepted", s)
 		}
+	}
+}
+
+func TestDecodeMatrix(t *testing.T) {
+	m, err := DecodeMatrix(strings.NewReader(
+		`{"tasks": ["patrol"], "models": ["lazy"], "sizes": [9], "seeds": [1, 2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Tasks, []Task{"patrol"}) || !reflect.DeepEqual(m.Sizes, []int{9}) {
+		t.Fatalf("decoded matrix %+v", m)
+	}
+
+	// A typo'd axis must fail loudly, not silently sweep the defaults.
+	_, err = DecodeMatrix(strings.NewReader(`{"task": ["coordinate"], "sizes": [8]}`))
+	if err == nil {
+		t.Fatal("DecodeMatrix accepted an unknown field")
+	}
+	for _, want := range []string{`"task"`, "tasks, models"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-field error %q does not mention %s", err, want)
+		}
+	}
+
+	if _, err := DecodeMatrix(strings.NewReader(`{"sizes": [8]} {"sizes": [16]}`)); err == nil {
+		t.Error("DecodeMatrix accepted trailing data")
+	}
+	if _, err := DecodeMatrix(strings.NewReader(`{"sizes": "all"}`)); err == nil {
+		t.Error("DecodeMatrix accepted a mistyped axis value")
 	}
 }

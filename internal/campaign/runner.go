@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"ringsym/internal/memo"
 	"ringsym/internal/netgen"
 	"ringsym/internal/ring"
+	"ringsym/internal/task"
 )
 
 // Status classifies how a scenario run ended.
@@ -65,6 +67,11 @@ type Record struct {
 	// scheduling; the per-orbit totals (one miss, the rest hits+dedups) are
 	// deterministic.
 	Cache string `json:"cache,omitempty"`
+	// Extra holds task-declared result fields (see task.Outcome.Extra): new
+	// tasks export task-specific data here without touching the exporter.
+	// The built-in tasks leave it nil, which keeps their records
+	// byte-identical to pre-registry builds.
+	Extra map[string]json.RawMessage `json:"extra,omitempty"`
 	// Wall is the measured wall-clock cost of the scenario.  Excluded from
 	// JSON so that exports stay deterministic.
 	Wall time.Duration `json:"-"`
@@ -216,9 +223,10 @@ func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Rec
 	defer func() {
 		if r := recover(); r != nil {
 			rec = Record{Scenario: sc, Status: StatusFailed, Error: fmt.Sprintf("panic: %v", r)}
-			model, err := ParseModel(sc.Model)
-			if err == nil {
-				rec.Bound, rec.BoundStr = boundFor(sc, model)
+			if model, err := ParseModel(sc.Model); err == nil {
+				if spec, err := task.Lookup(string(sc.Task)); err == nil {
+					rec.Bound, rec.BoundStr = spec.Bound(model, sc.N%2 == 1, sc.CommonSense, sc.N, sc.IDBound)
+				}
 			}
 		}
 		rec.Wall = time.Since(start)
@@ -233,15 +241,16 @@ func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Rec
 		rec.Error = err.Error()
 		return rec
 	}
-	rec.Bound, rec.BoundStr = boundFor(sc, model)
-	if sc.Task == TaskDiscover && !Solvable(model, sc.N%2 == 1, LocationDiscovery) {
-		rec.Status = StatusUnsolvable
+	spec, err := task.Lookup(string(sc.Task))
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
 		return rec
 	}
-
-	if sc.Task != TaskCoordinate && sc.Task != TaskDiscover {
-		rec.Status = StatusFailed
-		rec.Error = fmt.Sprintf("campaign: unknown task %q", sc.Task)
+	oddN := sc.N%2 == 1
+	rec.Bound, rec.BoundStr = spec.Bound(model, oddN, sc.CommonSense, sc.N, sc.IDBound)
+	if !spec.Solvable(model, oddN) {
+		rec.Status = StatusUnsolvable
 		return rec
 	}
 
@@ -253,34 +262,35 @@ func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Rec
 	}
 
 	if opts.Cache == nil {
-		out, err := runConfig(ctx, gen, sc)
+		out, err := runSpec(ctx, spec, gen, sc)
 		if err != nil {
 			rec.Status = StatusFailed
 			rec.Error = err.Error()
 			return rec
 		}
-		rec.fill(out, 0) // identity frame: agent 0 is canonical index 0
+		rec.fill(out) // identity frame: the outcome is already in sc's frame
 		return rec
 	}
 
 	// Cached path: run the canonical representative of the configuration's
 	// orbit (so every orbit member computes the identical stored outcome) and
-	// translate the result back into this scenario's frame.
+	// translate the result back into this scenario's frame through the task's
+	// MapOutcome.
 	ccfg, m, err := canon.Canonicalize(gen)
 	if err != nil {
 		rec.Status = StatusFailed
 		rec.Error = err.Error()
 		return rec
 	}
-	out, kind, err := opts.Cache.c.Do(ctx, cacheKey(canon.Fingerprint(ccfg), sc), func(cctx context.Context) (cachedOutcome, error) {
-		return runConfig(cctx, ccfg, sc)
+	out, kind, err := opts.Cache.c.Do(ctx, cacheKey(canon.Fingerprint(ccfg), sc), func(cctx context.Context) (task.Outcome, error) {
+		return runSpec(cctx, spec, ccfg, sc)
 	})
 	if err != nil {
 		rec.Status = StatusFailed
 		rec.Error = err.Error()
 		return rec
 	}
-	rec.fill(out, m.CanonIndex(0))
+	rec.fill(spec.MapOutcome(out, m))
 	rec.Cache = kind.String()
 	return rec
 }
@@ -305,10 +315,12 @@ func ProbeCache(sc Scenario, opts Options) (Record, bool) {
 	if err != nil {
 		return Record{}, false
 	}
-	if sc.Task == TaskDiscover && !Solvable(model, sc.N%2 == 1, LocationDiscovery) {
+	spec, err := task.Lookup(string(sc.Task))
+	if err != nil {
 		return Record{}, false
 	}
-	if sc.Task != TaskCoordinate && sc.Task != TaskDiscover {
+	oddN := sc.N%2 == 1
+	if !spec.Solvable(model, oddN) {
 		return Record{}, false
 	}
 	gen, err := generateConfig(sc, opts, model)
@@ -324,8 +336,8 @@ func ProbeCache(sc Scenario, opts Options) (Record, bool) {
 		return Record{}, false
 	}
 	rec := Record{Scenario: sc}
-	rec.Bound, rec.BoundStr = boundFor(sc, model)
-	rec.fill(out, m.CanonIndex(0))
+	rec.Bound, rec.BoundStr = spec.Bound(model, oddN, sc.CommonSense, sc.N, sc.IDBound)
+	rec.fill(spec.MapOutcome(out, m))
 	rec.Cache = memo.Hit.String()
 	return rec, true
 }
@@ -355,11 +367,12 @@ func generateConfig(sc Scenario, opts Options, model ring.Model) (engine.Config,
 	return gen, nil
 }
 
-// runConfig executes the scenario's task pipeline on the given configuration
-// through the public facade (which verifies the outcome against the
-// simulator's ground truth) and collects the frame-independent outcome with
-// per-agent stage splits for every ring index.
-func runConfig(ctx context.Context, gen engine.Config, sc Scenario) (cachedOutcome, error) {
+// runSpec executes the scenario's task on the given configuration through
+// the registry spec: the network is built behind the public facade (whose
+// pipelines verify protocol outcomes against the simulator's ground truth),
+// the spec runs, and the finished outcome is re-checked with the spec's own
+// Verify before it may enter the cache or a record.
+func runSpec(ctx context.Context, spec task.Spec, gen engine.Config, sc Scenario) (task.Outcome, error) {
 	nw, err := ringsym.NewNetwork(ringsym.Config{
 		Model:         gen.Model,
 		Circumference: gen.Circ,
@@ -370,32 +383,21 @@ func runConfig(ctx context.Context, gen engine.Config, sc Scenario) (cachedOutco
 		MaxRounds:     gen.MaxRounds,
 	})
 	if err != nil {
-		return cachedOutcome{}, err
+		return task.Outcome{}, err
 	}
-	switch sc.Task {
-	case TaskCoordinate:
-		res, err := nw.CoordinateContext(ctx, ringsym.CoordinationOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
-		if err != nil {
-			return cachedOutcome{}, err
-		}
-		out := cachedOutcome{Rounds: res.Rounds, LeaderID: res.LeaderID, PerAgent: make([]agentSplit, len(res.PerAgent))}
-		for i, a := range res.PerAgent {
-			out.PerAgent[i] = agentSplit{Nontrivial: a.RoundsNontrivial, Agreement: a.RoundsAgreement, Leader: a.RoundsLeader}
-		}
-		return out, nil
-	case TaskDiscover:
-		res, err := nw.DiscoverLocationsContext(ctx, ringsym.DiscoveryOptions{CommonSense: sc.CommonSense, Seed: sc.Seed})
-		if err != nil {
-			return cachedOutcome{}, err
-		}
-		out := cachedOutcome{Rounds: res.Rounds, PerAgent: make([]agentSplit, len(res.PerAgent))}
-		for i, a := range res.PerAgent {
-			out.PerAgent[i] = agentSplit{Coordination: a.RoundsCoordination, Discovery: a.RoundsDiscovery}
-			if a.IsLeader {
-				out.LeaderID = a.ID
-			}
-		}
-		return out, nil
+	p := task.Params{
+		N:              sc.N,
+		IDBound:        gen.IDBound,
+		MixedChirality: sc.MixedChirality,
+		CommonSense:    sc.CommonSense,
+		Seed:           sc.Seed,
 	}
-	return cachedOutcome{}, fmt.Errorf("campaign: unknown task %q", sc.Task)
+	out, err := spec.Run(ctx, nw, p)
+	if err != nil {
+		return task.Outcome{}, err
+	}
+	if err := spec.Verify(nw, p, out); err != nil {
+		return task.Outcome{}, fmt.Errorf("%w: %v", ringsym.ErrVerification, err)
+	}
+	return out, nil
 }

@@ -193,7 +193,9 @@ func MeasureLocationDiscovery(s Setting, n, idBound int, seed int64) (total, coo
 
 // Bound returns the paper's asymptotic bound (as a plain formula without the
 // hidden constant) and its human-readable form for a cell.  It delegates to
-// the campaign package, the single source of the theoretical columns.
+// the campaign package, whose tables live in the task registry
+// (internal/task) — the same source every registered task's per-record
+// bound comes from, so the table columns cannot drift from sweep records.
 func Bound(s Setting, p Problem, n, idBound int) (float64, string) {
 	return campaign.Bound(s.Model, s.OddN, s.CommonSense, p, n, idBound)
 }

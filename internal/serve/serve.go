@@ -17,8 +17,13 @@
 //	POST /v1/run       one scenario in, one campaign.Record out (JSON)
 //	POST /v1/campaign  a campaign.Matrix spec in, records out as streamed
 //	                   JSONL in scenario-index order
+//	GET  /v1/tasks     the task registry: every runnable task with its
+//	                   description (JSON array, sorted by name)
 //	GET  /healthz      liveness: {"status":"ok"}
 //	GET  /metrics      throughput and cache counters (JSON)
+//
+// Any task registered in internal/task is servable; requests naming an
+// unregistered task fail with 400 and an error listing the registry.
 package serve
 
 import (
@@ -37,6 +42,7 @@ import (
 	"ringsym/internal/campaign"
 	"ringsym/internal/engine"
 	"ringsym/internal/memo"
+	"ringsym/internal/task"
 )
 
 // Options configures a Server.
@@ -196,9 +202,37 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	mux.HandleFunc("GET /v1/tasks", s.handleTasks)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// TaskInfo is one entry of GET /v1/tasks.
+type TaskInfo struct {
+	// Name is the value to put in Scenario.Task / Matrix.Tasks.
+	Name string `json:"name"`
+	// Description is the task's one-line human summary.
+	Description string `json:"description"`
+	// PaperBound reports that the paper states a bound for the task; these
+	// tasks form the default task axis of a /v1/campaign matrix.
+	PaperBound bool `json:"paper_bound"`
+}
+
+// handleTasks lists the task registry, sorted by name, so clients can
+// discover runnable workloads instead of hardcoding them.
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	names := task.Names()
+	out := make([]TaskInfo, 0, len(names))
+	for _, name := range names {
+		spec, err := task.Lookup(name)
+		if err != nil {
+			continue // racing an (unsupported) unregistration; skip
+		}
+		out = append(out, TaskInfo{Name: name, Description: spec.Description(), PaperBound: spec.PaperBound()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }
 
 // httpError writes a JSON error body with the given status.  Only 4xx
@@ -231,8 +265,12 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
 // must parse, n must satisfy the paper's n > 4 and the daemon's size cap,
 // and a zero identifier bound defaults to the campaign's 4n.
 func (s *Server) validateScenario(sc *campaign.Scenario) error {
-	if sc.Task != campaign.TaskCoordinate && sc.Task != campaign.TaskDiscover {
-		return fmt.Errorf("unknown task %q (want %q or %q)", sc.Task, campaign.TaskCoordinate, campaign.TaskDiscover)
+	// Normalize the casing Lookup tolerates: the task name feeds the
+	// symmetry cache key and the record verbatim, so "Coordinate" must not
+	// fragment the cache (or the records) away from "coordinate".
+	sc.Task = campaign.Task(strings.ToLower(string(sc.Task)))
+	if _, err := task.Lookup(string(sc.Task)); err != nil {
+		return err
 	}
 	if _, err := campaign.ParseModel(sc.Model); err != nil {
 		return err

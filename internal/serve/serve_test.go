@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -15,6 +16,7 @@ import (
 
 	"ringsym/internal/campaign"
 	"ringsym/internal/serve"
+	"ringsym/internal/task"
 )
 
 // newTestServer starts a pool and an httptest server around its handler.
@@ -86,7 +88,7 @@ func TestRunEndpoint(t *testing.T) {
 	want.IDBound = 4 * sc.N // the daemon's documented default
 	wantRec := campaign.RunScenario(want, campaign.Options{})
 	wantRec.Wall, got.Wall = 0, 0
-	if got != wantRec {
+	if !reflect.DeepEqual(got, wantRec) {
 		t.Fatalf("daemon record differs:\n got %+v\nwant %+v", got, wantRec)
 	}
 	if got.Status != campaign.StatusOK || !got.Verified {
@@ -198,7 +200,7 @@ func TestConcurrentClients(t *testing.T) {
 					t.Errorf("%s: record lacks cache annotation", scenarios[i].Key())
 				}
 				got.Cache, got.Wall = "", 0
-				if got != want[i] {
+				if !reflect.DeepEqual(got, want[i]) {
 					t.Errorf("%s: daemon record differs:\n got %+v\nwant %+v", scenarios[i].Key(), got, want[i])
 				}
 			}(i)
@@ -264,7 +266,7 @@ func TestCampaignEndpoint(t *testing.T) {
 			t.Fatalf("record %d arrived with index %d (stream must be index-ordered)", i, g.Index)
 		}
 		g.Cache, g.Wall, want[i].Wall = "", 0, 0
-		if g != want[i] {
+		if !reflect.DeepEqual(g, want[i]) {
 			t.Errorf("record %d differs:\n got %+v\nwant %+v", i, g, want[i])
 		}
 	}
@@ -468,4 +470,116 @@ func ExampleServer() {
 	}
 	fmt.Println(rec.Status, rec.Verified, rec.Cache)
 	// Output: ok true miss
+}
+
+// TestTasksEndpoint: GET /v1/tasks lists the full registry, sorted, with the
+// paper-bound flag marking the default campaign task axis.
+func TestTasksEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/tasks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var infos []serve.TaskInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	want := task.Names()
+	if len(infos) != len(want) {
+		t.Fatalf("%d tasks listed, registry has %d", len(infos), len(want))
+	}
+	for i, info := range infos {
+		if info.Name != want[i] {
+			t.Errorf("entry %d is %q, want %q (sorted)", i, info.Name, want[i])
+		}
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+		if wantPB := info.Name == "coordinate" || info.Name == "discover"; info.PaperBound != wantPB {
+			t.Errorf("%s: paper_bound = %v, want %v", info.Name, info.PaperBound, wantPB)
+		}
+	}
+
+	if resp, err := http.Post(ts.URL+"/v1/tasks", "application/json", strings.NewReader("{}")); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /v1/tasks: status = %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+// TestRunRegistryTasks: the three derived workloads run through /v1/run like
+// any built-in, returning verified records with their task-declared extra
+// fields.
+func TestRunRegistryTasks(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	for _, tc := range []struct {
+		sc    campaign.Scenario
+		extra []string
+	}{
+		{campaign.Scenario{Task: "bounce", Model: "basic", N: 8, Seed: 1, MixedChirality: true}, []string{"collisions", "events", "rotation_index"}},
+		{campaign.Scenario{Task: "patrol", Model: "lazy", N: 9, Seed: 2, MixedChirality: true}, []string{"max_relocation"}},
+		{campaign.Scenario{Task: "swarmlocate", Model: "perceptive", N: 8, Seed: 3, MixedChirality: true}, []string{"lower_bound"}},
+	} {
+		rec := decodeRecord(t, postJSON(t, ts.URL+"/v1/run", tc.sc))
+		if rec.Status != campaign.StatusOK || !rec.Verified {
+			t.Errorf("%s: status %s verified=%v (%s)", tc.sc.Key(), rec.Status, rec.Verified, rec.Error)
+			continue
+		}
+		for _, field := range tc.extra {
+			if _, ok := rec.Extra[field]; !ok {
+				t.Errorf("%s: record lacks extra field %q (have %v)", tc.sc.Key(), field, rec.Extra)
+			}
+		}
+	}
+
+	// A workload outside its model gate is classified, not failed.
+	rec := decodeRecord(t, postJSON(t, ts.URL+"/v1/run",
+		campaign.Scenario{Task: "swarmlocate", Model: "basic", N: 8, Seed: 1}))
+	if rec.Status != campaign.StatusUnsolvable {
+		t.Errorf("swarmlocate on basic: status %s, want unsolvable", rec.Status)
+	}
+}
+
+// TestCampaignValidation: matrix bodies are decoded strictly too.
+func TestCampaignValidation(t *testing.T) {
+	pool, ts := newTestServer(t, serve.Options{Workers: 1})
+	for name, body := range map[string]string{
+		"unknown field": `{"task": ["coordinate"], "sizes": [8]}`,
+		"bad task":      `{"tasks": ["elect"], "sizes": [8]}`,
+		"trailing":      `{"sizes": [8]}{}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/campaign", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if m := pool.Snapshot(); m.BadRequests != 3 || m.Records != 0 {
+		t.Fatalf("metrics after bad requests: %+v", m)
+	}
+}
+
+// TestRunTaskCaseNormalized: Lookup tolerates casing, but the name feeds the
+// cache key and the record — "Coordinate" must land in the same orbit (and
+// produce the same record bytes) as "coordinate".
+func TestRunTaskCaseNormalized(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Cache: campaign.NewCache(0)})
+	rec := decodeRecord(t, postJSON(t, ts.URL+"/v1/run",
+		map[string]any{"task": "Coordinate", "model": "basic", "n": 8, "seed": 1}))
+	if rec.Task != campaign.TaskCoordinate || rec.Status != campaign.StatusOK {
+		t.Fatalf("mixed-case task record: %+v", rec)
+	}
+	variant := decodeRecord(t, postJSON(t, ts.URL+"/v1/run",
+		map[string]any{"task": "coordinate", "model": "basic", "n": 8, "seed": 1, "phase": 3, "reflect": true}))
+	if variant.Cache != "hit" {
+		t.Errorf("lowercase symmetric variant annotated %q, want hit (cache fragmented by casing)", variant.Cache)
+	}
 }

@@ -1,0 +1,165 @@
+package task
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"ringsym"
+	"ringsym/internal/canon"
+	"ringsym/internal/physics"
+	"ringsym/internal/ring"
+)
+
+// bounceSpec runs one round of the event-driven physics simulator with every
+// agent moving in its own private clockwise direction, and reports the
+// collision dynamics: per-agent collision counts, the total number of
+// collision events and the rotation index of Lemma 1.  It is the "beads on a
+// ring" workload that underlies the whole paper, promoted from a ringsim-only
+// special case to a first-class registry task.
+//
+// The direction rule (own clockwise) is deliberately frame-equivariant: under
+// a rotation of the ring indexing every agent behaves identically, and under
+// a reflection the flipped chirality bits reproduce the mirrored motion — so
+// the outcome travels through the symmetry-canonical cache like any protocol
+// outcome.  All positions and event times stay on a dyadic grid (positions
+// are even ticks, meeting points are half-ticks), so the float64 simulation
+// is exact and the outcome is bit-deterministic in every frame.
+type bounceSpec struct{}
+
+func (bounceSpec) Name() string { return "bounce" }
+
+func (bounceSpec) Description() string {
+	return "one event-driven physics round with every agent moving its own clockwise: collision counts and the Lemma 1 rotation index"
+}
+
+func (bounceSpec) PaperBound() bool { return false }
+
+func (bounceSpec) Solvable(ring.Model, bool) bool { return true }
+
+func (bounceSpec) Bound(ring.Model, bool, bool, int, int) (float64, string) {
+	return 1, "1 (single physics round)"
+}
+
+// Run executes the single closed-form round; ctx is accepted for interface
+// uniformity but never consulted — the event sweep is O(n^2) arithmetic with
+// no protocol rounds to interrupt.
+func (bounceSpec) Run(_ context.Context, nw *ringsym.Network, p Params) (Outcome, error) {
+	eng := nw.Engine()
+	n := eng.N()
+	circ := eng.Circ()
+	ticks := eng.InitialPositions()
+	positions := make([]float64, n)
+	dirs := make([]ring.Direction, n)
+	nC := 0
+	for i := range positions {
+		positions[i] = float64(ticks[i])
+		if eng.ChiralityOf(i) {
+			dirs[i] = ring.Clockwise
+			nC++
+		} else {
+			dirs[i] = ring.Anticlockwise
+		}
+	}
+	res, err := physics.SimulateRound(float64(circ), positions, dirs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Rounds: 1, PerAgent: make([]Split, n)}
+	out.Extra = map[string]json.RawMessage{
+		"collisions":     mustJSON(res.Collisions),
+		"events":         mustJSON(len(res.Events)),
+		"rotation_index": mustJSON(rotationIndex(nC, n)),
+	}
+	return out, nil
+}
+
+// rotationIndex is Lemma 1's (nC - nA) mod n for nA = n - nC.
+func rotationIndex(nC, n int) int {
+	return ((nC-(n-nC))%n + n) % n
+}
+
+func (bounceSpec) Verify(nw *ringsym.Network, p Params, out Outcome) error {
+	eng := nw.Engine()
+	n := eng.N()
+	if len(out.PerAgent) != n {
+		return fmt.Errorf("bounce: %d per-agent splits for %d agents", len(out.PerAgent), n)
+	}
+	var coll []int
+	var events, rot int
+	if err := decodeExtra(out.Extra, map[string]any{
+		"collisions": &coll, "events": &events, "rotation_index": &rot,
+	}); err != nil {
+		return fmt.Errorf("bounce: %w", err)
+	}
+	if len(coll) != n {
+		return fmt.Errorf("bounce: %d collision counts for %d agents", len(coll), n)
+	}
+	// Conservation: every collision event involves exactly two agents.
+	sum := 0
+	for _, c := range coll {
+		if c < 0 {
+			return fmt.Errorf("bounce: negative collision count %d", c)
+		}
+		sum += c
+	}
+	if sum != 2*events {
+		return fmt.Errorf("bounce: per-agent collisions sum to %d, want 2x%d events", sum, events)
+	}
+	// Lemma 1: the rotation index is determined by the chirality census.
+	nC := 0
+	for i := 0; i < n; i++ {
+		if eng.ChiralityOf(i) {
+			nC++
+		}
+	}
+	if want := rotationIndex(nC, n); rot != want {
+		return fmt.Errorf("bounce: rotation index %d, want (nC-nA) mod n = %d", rot, want)
+	}
+	return nil
+}
+
+// MapOutcome reindexes the per-agent collision counts into the requesting
+// frame and, under a reflection, negates the rotation index (the mirrored
+// ring rotates the other way: nC and nA swap roles).
+func (bounceSpec) MapOutcome(out Outcome, m canon.Map) Outcome {
+	if m.Rotation == 0 && !m.Reflected {
+		return out
+	}
+	out = Reframe(out, m)
+	extra := make(map[string]json.RawMessage, len(out.Extra))
+	for k, v := range out.Extra {
+		extra[k] = v
+	}
+	var coll []int
+	if err := json.Unmarshal(extra["collisions"], &coll); err == nil {
+		mapped := make([]int, len(coll))
+		for i := range mapped {
+			mapped[i] = coll[m.CanonIndex(i)]
+		}
+		extra["collisions"] = mustJSON(mapped)
+	}
+	if m.Reflected {
+		var rot int
+		if err := json.Unmarshal(extra["rotation_index"], &rot); err == nil {
+			extra["rotation_index"] = mustJSON(((-rot)%m.N + m.N) % m.N)
+		}
+	}
+	out.Extra = extra
+	return out
+}
+
+// decodeExtra unmarshals the named Extra fields into the given pointers,
+// failing on a missing field.
+func decodeExtra(extra map[string]json.RawMessage, fields map[string]any) error {
+	for name, dst := range fields {
+		raw, ok := extra[name]
+		if !ok {
+			return fmt.Errorf("extra field %q missing", name)
+		}
+		if err := json.Unmarshal(raw, dst); err != nil {
+			return fmt.Errorf("extra field %q: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package task
+
+import (
+	"math"
+
+	"ringsym/internal/comb"
+	"ringsym/internal/ring"
+)
+
+// Problem identifies one of the paper's problems for bound lookup.
+type Problem string
+
+// Problems with bounds in the paper.
+const (
+	LeaderElection     Problem = "leader election"
+	NontrivialMove     Problem = "nontrivial move"
+	DirectionAgreement Problem = "direction agreement"
+	LocationDiscovery  Problem = "location discovery"
+)
+
+// Solvable reports whether the problem is solvable at all in the given
+// setting (Lemma 5: location discovery is impossible in the basic model with
+// even n).
+func Solvable(model ring.Model, oddN bool, p Problem) bool {
+	return p != LocationDiscovery || model != ring.Basic || oddN
+}
+
+// Bound returns the paper's asymptotic bound for a problem in a setting, as
+// a plain formula without the hidden constant, together with its
+// human-readable form.  It is the single source of the theoretical columns
+// of Table I and Table II; internal/campaign and internal/eval delegate here.
+func Bound(model ring.Model, oddN, commonSense bool, p Problem, n, idBound int) (float64, string) {
+	logN := comb.Log2(float64(idBound))
+	logNn := comb.Log2(float64(idBound) / float64(n))
+	logn := comb.Log2(float64(n))
+	sqrtn := math.Sqrt(float64(n))
+	fn := float64(n)
+
+	if commonSense {
+		switch {
+		case p == LocationDiscovery && model == ring.Basic && !oddN:
+			return 0, "not solvable"
+		case p == LocationDiscovery && model == ring.Perceptive && !oddN:
+			return fn/2 + sqrtn*logN, "n/2 + O(sqrt(n) log N)"
+		case p == LocationDiscovery:
+			return fn + logN, "n + O(log N)"
+		case p == NontrivialMove && oddN:
+			return logNn, "Theta(log(N/n))"
+		case model == ring.Basic && !oddN:
+			return logN * logN, "O(log^2 N)"
+		default:
+			return logN, "O(log N)"
+		}
+	}
+	switch model {
+	case ring.Basic, ring.Lazy:
+		if oddN {
+			switch p {
+			case LeaderElection:
+				return logN, "O(log N)"
+			case NontrivialMove:
+				return logNn, "Theta(log(N/n))"
+			case DirectionAgreement:
+				return 1, "O(1)"
+			case LocationDiscovery:
+				return fn + logN, "n + O(log N)"
+			}
+		}
+		coord := fn * logNn / logn
+		if p == LocationDiscovery {
+			if model == ring.Basic {
+				return 0, "not solvable"
+			}
+			return fn + coord, "n + Theta(n log(N/n)/log n)"
+		}
+		return coord, "Theta(n log(N/n)/log n)"
+	case ring.Perceptive:
+		if p == LocationDiscovery {
+			return fn/2 + sqrtn*logN*logN, "n/2 + O(sqrt(n) log^2 N)"
+		}
+		return sqrtn * logN, "O(sqrt(n) log N)"
+	}
+	return 0, "?"
+}

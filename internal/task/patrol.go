@@ -1,0 +1,105 @@
+package task
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"ringsym"
+	"ringsym/internal/canon"
+	"ringsym/internal/ring"
+)
+
+// patrolSpec is the boundary-patrolling workload the paper's introduction
+// motivates: run location discovery, then let every agent independently
+// derive the same equidistant deployment plan (target slot t sits at t/n of
+// the circumference from the leader).  The outcome reports the discovery
+// cost plus the longest relocation any robot must make to reach its slot —
+// after which the swarm patrols the boundary with optimal idle time 1/n.
+type patrolSpec struct{}
+
+func (patrolSpec) Name() string { return "patrol" }
+
+func (patrolSpec) Description() string {
+	return "location discovery followed by the equidistant boundary-patrol deployment plan (longest relocation in half-ticks)"
+}
+
+func (patrolSpec) PaperBound() bool { return false }
+
+func (patrolSpec) Solvable(model ring.Model, oddN bool) bool {
+	// The plan needs the full relative map, so patrol inherits location
+	// discovery's solvability (Lemma 5).
+	return Solvable(model, oddN, LocationDiscovery)
+}
+
+func (patrolSpec) Bound(model ring.Model, oddN, commonSense bool, n, idBound int) (float64, string) {
+	// The round cost is exactly location discovery's: the plan is computed
+	// offline from the map.
+	return Bound(model, oddN, commonSense, LocationDiscovery, n, idBound)
+}
+
+func (patrolSpec) Run(ctx context.Context, nw *ringsym.Network, p Params) (Outcome, error) {
+	res, out, err := runDiscovery(ctx, nw, p)
+	if err != nil {
+		return Outcome{}, err
+	}
+	var leader ringsym.AgentDiscovery
+	for _, a := range res.PerAgent {
+		if a.IsLeader {
+			leader = a
+		}
+	}
+	// The deployment plan, computed from the leader's map exactly as every
+	// agent would compute it from its own: target slot t sits at t/n of the
+	// circumference (in half-ticks — the map's observation units), and each
+	// robot takes the shorter way around.  The plan is a pure function of the
+	// protocol output, so it is identical in every framing of the ring.
+	full := 2 * nw.Engine().Circ()
+	var maxMove int64
+	for t := 0; t < leader.N; t++ {
+		target := int64(t) * full / int64(leader.N)
+		move := target - leader.Positions[t]
+		if move > full/2 {
+			move -= full
+		}
+		if move < -full/2 {
+			move += full
+		}
+		if move < 0 {
+			move = -move
+		}
+		if move > maxMove {
+			maxMove = move
+		}
+	}
+	out.Extra = map[string]json.RawMessage{"max_relocation": mustJSON(maxMove)}
+	return out, nil
+}
+
+func (patrolSpec) Verify(nw *ringsym.Network, p Params, out Outcome) error {
+	if len(out.PerAgent) != nw.N() {
+		return fmt.Errorf("patrol: %d per-agent splits for %d agents", len(out.PerAgent), nw.N())
+	}
+	if nw.Engine().IndexOfID(out.LeaderID) < 0 {
+		return fmt.Errorf("patrol: leader ID %d does not exist in the network", out.LeaderID)
+	}
+	if lb := ringsym.LocationDiscoveryLowerBound(nw.Model(), nw.N()); out.Rounds < lb {
+		return fmt.Errorf("patrol: %d rounds beat the Lemma 6 lower bound of %d", out.Rounds, lb)
+	}
+	var maxMove int64
+	if err := decodeExtra(out.Extra, map[string]any{"max_relocation": &maxMove}); err != nil {
+		return fmt.Errorf("patrol: %w", err)
+	}
+	// Robots take the shorter way around, so no relocation can exceed half
+	// the circumference (in half-ticks: the circumference in ticks).
+	if half := nw.Engine().Circ(); maxMove < 0 || maxMove > half {
+		return fmt.Errorf("patrol: max relocation %d outside [0, %d]", maxMove, half)
+	}
+	return nil
+}
+
+func (patrolSpec) MapOutcome(out Outcome, m canon.Map) Outcome {
+	// The plan is frame-invariant (see Run); only the per-agent splits carry
+	// frame indexing.
+	return Reframe(out, m)
+}

@@ -1,0 +1,74 @@
+package task
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"ringsym"
+	"ringsym/internal/canon"
+	"ringsym/internal/ring"
+)
+
+// swarmlocateSpec is the collision-sensor localisation workload of Theorem
+// 42: a swarm restricted to the perceptive model (no communication, no
+// common sense of direction, only the first-collision observable) localises
+// every member in about n/2 rounds.  The outcome is location discovery's,
+// annotated with the Lemma 6 lower bound so sweeps can chart observed rounds
+// against the information-theoretic floor of the model.
+type swarmlocateSpec struct{}
+
+func (swarmlocateSpec) Name() string { return "swarmlocate" }
+
+func (swarmlocateSpec) Description() string {
+	return "perceptive-model swarm localisation (Theorem 42): location discovery via the coll() sensor, charted against the Lemma 6 lower bound"
+}
+
+func (swarmlocateSpec) PaperBound() bool { return false }
+
+func (swarmlocateSpec) Solvable(model ring.Model, oddN bool) bool {
+	// The workload is defined by the coll() sensor: only the perceptive
+	// model has it.  (Perceptive location discovery is solvable for either
+	// parity.)
+	return model == ring.Perceptive && Solvable(model, oddN, LocationDiscovery)
+}
+
+func (swarmlocateSpec) Bound(model ring.Model, oddN, commonSense bool, n, idBound int) (float64, string) {
+	return Bound(model, oddN, commonSense, LocationDiscovery, n, idBound)
+}
+
+func (swarmlocateSpec) Run(ctx context.Context, nw *ringsym.Network, p Params) (Outcome, error) {
+	_, out, err := runDiscovery(ctx, nw, p)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.Extra = map[string]json.RawMessage{
+		"lower_bound": mustJSON(ringsym.LocationDiscoveryLowerBound(nw.Model(), nw.N())),
+	}
+	return out, nil
+}
+
+func (swarmlocateSpec) Verify(nw *ringsym.Network, p Params, out Outcome) error {
+	if len(out.PerAgent) != nw.N() {
+		return fmt.Errorf("swarmlocate: %d per-agent splits for %d agents", len(out.PerAgent), nw.N())
+	}
+	if nw.Engine().IndexOfID(out.LeaderID) < 0 {
+		return fmt.Errorf("swarmlocate: leader ID %d does not exist in the network", out.LeaderID)
+	}
+	var lb int
+	if err := decodeExtra(out.Extra, map[string]any{"lower_bound": &lb}); err != nil {
+		return fmt.Errorf("swarmlocate: %w", err)
+	}
+	if want := ringsym.LocationDiscoveryLowerBound(nw.Model(), nw.N()); lb != want {
+		return fmt.Errorf("swarmlocate: recorded lower bound %d, ground truth %d", lb, want)
+	}
+	if out.Rounds < lb {
+		return fmt.Errorf("swarmlocate: %d rounds beat the Lemma 6 lower bound of %d", out.Rounds, lb)
+	}
+	return nil
+}
+
+func (swarmlocateSpec) MapOutcome(out Outcome, m canon.Map) Outcome {
+	// The lower bound depends only on (model, n), both orbit invariants.
+	return Reframe(out, m)
+}

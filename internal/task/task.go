@@ -1,0 +1,220 @@
+// Package task is the protocol-task registry of the simulator: the single
+// seam through which every layer of the stack — the campaign runner, the
+// table harness in internal/eval, the serving daemon and the CLIs — selects,
+// runs, verifies and cache-translates a scenario's workload.
+//
+// A task is described by a Spec: how to run it on a network, whether it is
+// solvable in a setting, what the paper's bound for it is, how to re-check a
+// finished outcome against the simulator's ground truth, and how to translate
+// an outcome computed on the canonical representative of a symmetry orbit
+// (internal/canon) back into the requesting frame.  Specs register themselves
+// under their name with Register; the built-ins of the paper (coordinate,
+// discover) and the derived workloads (bounce, patrol, swarmlocate) are
+// registered at init, so every importer sees the same catalogue.
+//
+// Adding a task is one file in this package (or any package that can import
+// it): implement Spec, call Register in an init function, and the task is
+// immediately sweepable by cmd/ringfarm (sharded, cached, aggregated),
+// servable by cmd/ringd (/v1/run, /v1/campaign, listed on /v1/tasks) and
+// runnable by cmd/ringsim — no switch statement anywhere needs to learn the
+// new name.  The conformance suite in tasktest runs every registered spec
+// through the same obligations: Solvable/Run agreement, Verify on ground
+// truth, the cache round-trip Run(s) == MapOutcome(Run(canon(s))), and
+// byte-stable record JSON.
+package task
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ringsym"
+	"ringsym/internal/canon"
+	"ringsym/internal/ring"
+)
+
+// Params is the task-relevant slice of a scenario: everything a Spec may
+// consult beyond the network itself.  The network passed to Run is already
+// generated from these parameters; they are provided separately because the
+// facade deliberately does not expose identifier bounds or the chirality
+// regime as a summary.
+type Params struct {
+	// N is the number of agents.
+	N int
+	// IDBound is the public bound N of the paper on identifiers.
+	IDBound int
+	// MixedChirality reports that agents have adversarially mixed senses of
+	// direction.
+	MixedChirality bool
+	// CommonSense promises an a-priori common sense of direction.
+	CommonSense bool
+	// Seed drives the pseudo-random protocol schedules.
+	Seed int64
+}
+
+// Split is one agent's per-stage round split.  It is the superset of the
+// stage vocabularies of all registered tasks; a task fills the stages it has
+// and leaves the rest zero (zero stages are omitted from record JSON).
+type Split struct {
+	// Coordination-pipeline stages (coordinate).
+	Nontrivial, Agreement, Leader int
+	// Location-discovery stages (discover and the workloads built on it).
+	Coordination, Discovery int
+}
+
+// Outcome is the frame-independent result of one verified task run.  Its
+// per-agent data is indexed by the ring indices of the frame the task ran in;
+// MapOutcome translates between frames.  Extra carries task-declared fields
+// that flow verbatim into the record JSON (and therefore must be produced
+// deterministically — marshal with encoding/json, never by hand).
+type Outcome struct {
+	// Rounds is the total round cost of the task.
+	Rounds int
+	// LeaderID is the identifier of the elected leader; 0 when the task
+	// elects none.
+	LeaderID int
+	// PerAgent holds the per-agent stage splits by ring index.
+	PerAgent []Split
+	// Extra holds task-specific result fields, exported on the record as
+	// "extra".  Tasks without extra fields leave it nil, which keeps their
+	// record JSON byte-identical to pre-registry builds.
+	Extra map[string]json.RawMessage
+}
+
+// Spec describes one protocol task end to end.  Implementations must be
+// stateless (a Spec is shared by every worker of every sweep) and
+// deterministic: the outcome may depend only on the network configuration and
+// the Params.
+type Spec interface {
+	// Name is the registry key and the Scenario.Task value ("coordinate").
+	Name() string
+	// Description is the one-line human summary listed by GET /v1/tasks.
+	Description() string
+	// PaperBound reports that the paper states a bound for this exact task.
+	// Only such tasks enter the default Matrix task axis; derived workloads
+	// return false so default sweeps stay byte-identical across registry
+	// growth.
+	PaperBound() bool
+	// Solvable reports whether the task is solvable at all in the setting;
+	// unsolvable scenarios are recorded without running (Lemma 5 style).
+	Solvable(model ring.Model, oddN bool) bool
+	// Bound returns the task's round bound in the setting, as a plain formula
+	// without the hidden constant plus its human-readable form.  Tasks
+	// without a meaningful bound return (0, "n/a").
+	Bound(model ring.Model, oddN, commonSense bool, n, idBound int) (float64, string)
+	// Run executes the task on the network and returns its outcome.  Run is
+	// responsible for the task's own end-to-end verification (the facade
+	// verifies protocol outcomes against the simulator's ground truth); the
+	// runner additionally calls Verify on every fresh outcome.
+	Run(ctx context.Context, nw *ringsym.Network, p Params) (Outcome, error)
+	// Verify re-checks a finished outcome against the network it ran on:
+	// invariants the outcome itself exposes (leader identity, bound
+	// consistency, conservation laws) must hold against the ground truth.
+	Verify(nw *ringsym.Network, p Params, out Outcome) error
+	// MapOutcome translates an outcome computed in the canonical frame of a
+	// symmetry orbit back into the frame described by m (the Map returned by
+	// canon.Canonicalize for the requesting configuration).  It must treat
+	// out as immutable — the value is shared with the memo cache — and
+	// return fresh slices/maps wherever the translation changes them.
+	MapOutcome(out Outcome, m canon.Map) Outcome
+}
+
+// Reframe translates the frame-indexed parts of an outcome from the
+// canonical frame into the original frame described by m: the agent at
+// original ring index i takes the per-agent data of canonical index
+// m.CanonIndex(i).  Scalar fields and Extra are unchanged (shared).  It is
+// the whole MapOutcome implementation for tasks whose Extra fields are
+// frame-invariant.
+func Reframe(out Outcome, m canon.Map) Outcome {
+	if m.Rotation == 0 && !m.Reflected {
+		return out
+	}
+	per := make([]Split, len(out.PerAgent))
+	for i := range per {
+		per[i] = out.PerAgent[m.CanonIndex(i)]
+	}
+	out.PerAgent = per
+	return out
+}
+
+// mustJSON marshals a value that cannot fail (ints, slices of ints); it is
+// the deterministic encoder for Extra fields.
+func mustJSON(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("task: marshal extra field: %v", err))
+	}
+	return b
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Spec{}
+)
+
+// Register adds a spec to the registry under its name.  It panics on an
+// empty name or a duplicate registration — both are programming errors that
+// must fail loudly at init, not at sweep time.
+func Register(spec Spec) {
+	name := spec.Name()
+	if name == "" || name != strings.ToLower(name) {
+		panic(fmt.Sprintf("task: invalid task name %q (must be non-empty lowercase)", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("task: duplicate registration of %q", name))
+	}
+	registry[name] = spec
+}
+
+// Lookup returns the spec registered under name (case-insensitive).  The
+// error of an unknown name lists the registered tasks, so a typo in a sweep
+// spec or an HTTP request is self-explaining.
+func Lookup(name string) (Spec, error) {
+	regMu.RLock()
+	spec, ok := registry[strings.ToLower(name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("task: unknown task %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	return spec, nil
+}
+
+// Names returns the registered task names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperBoundNames returns the sorted names of the tasks the paper states a
+// bound for — the default task axis of a campaign matrix.
+func PaperBoundNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name, spec := range registry {
+		if spec.PaperBound() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(coordinateSpec{})
+	Register(discoverSpec{})
+	Register(bounceSpec{})
+	Register(patrolSpec{})
+	Register(swarmlocateSpec{})
+}

@@ -1,0 +1,23 @@
+package tasktest
+
+import (
+	"testing"
+
+	"ringsym/internal/task"
+)
+
+// TestConformance runs the full obligation suite against every registered
+// task: whatever lands in the registry is held to the same contract as the
+// paper's built-ins, with no opt-out.
+func TestConformance(t *testing.T) {
+	names := task.Names()
+	if len(names) == 0 {
+		t.Fatal("task registry is empty")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			Conformance(t, name)
+		})
+	}
+}
