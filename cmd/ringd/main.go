@@ -14,8 +14,14 @@
 //
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/metrics/prometheus
+//	curl -sN localhost:8080/v1/events?types=scenario'&'level=info
 //	curl -s -X POST localhost:8080/v1/run -d '{"task":"coordinate","model":"basic","n":8,"seed":1}'
 //	curl -s -X POST localhost:8080/v1/campaign -d '{"sizes":[8,16],"seeds":[1,2,3]}'
+//
+// With -pprof, the net/http/pprof profiling handlers are additionally served
+// under /debug/pprof/.  `ringfarm top -url http://localhost:8080` renders a
+// live view from the event stream.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener stops,
 // in-flight requests get a drain window, and the worker pool exits cleanly.
@@ -48,6 +54,7 @@ func main() {
 	maxRounds := flag.Int("maxrounds", 0, "round bound on runaway protocols (default engine's)")
 	maxN := flag.Int("maxn", 0, "largest network size a request may ask for (default 4096)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -76,6 +83,7 @@ func main() {
 		Circ:      *circ,
 		MaxRounds: *maxRounds,
 		MaxN:      *maxN,
+		Pprof:     *pprofFlag,
 	})
 	// No WriteTimeout here: it would cap the total duration of a streaming
 	// /v1/campaign response; internal/serve bounds each record write with

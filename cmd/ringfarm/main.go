@@ -14,6 +14,16 @@
 //	ringfarm -spec sweep.json -shard 0/4 -out sweep-shard0/
 //	ringfarm -sizes 16 -dryrun          # list the scenarios and exit
 //	ringfarm -sizes 16 -phases 0:7 -reflect -cache on
+//	ringfarm -sizes 32 -seeds 1:50 -top          # live top view while running
+//	ringfarm -sizes 16 -events sweep.events.ndjson
+//	ringfarm top -url http://localhost:8080      # watch a running ringd
+//
+// The live progress line reports throughput, engine rounds/sec and (for
+// cached sweeps) the symmetry dedup ratio; -quiet suppresses it, -top
+// replaces it with a full live view fed by the structured-event bus
+// (internal/obs), and `ringfarm top` renders the same view for a remote
+// ringd daemon.  -events captures the sweep's event stream to an NDJSON
+// file in the exact wire format ringd's GET /v1/events serves.
 //
 // With -cache on (or -cache <capacity>), scenario outcomes are memoised
 // under their canonical symmetry key (internal/canon): rotations,
@@ -49,12 +59,22 @@ import (
 	"time"
 
 	"ringsym/internal/campaign"
+	"ringsym/internal/engine"
 	"ringsym/internal/task"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ringfarm: ")
+
+	// `ringfarm top` is a subcommand with its own flags: a live view over a
+	// running ringd daemon's /v1/events stream.
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		if err := runTop(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	spec := flag.String("spec", "", "JSON sweep-spec file (overrides the matrix flags)")
 	tasks := flag.String("tasks", "", "comma-separated registry tasks: "+strings.Join(task.Names(), ",")+" (default: the paper-bound tasks)")
@@ -73,6 +93,8 @@ func main() {
 	out := flag.String("out", "ringfarm-out", "output directory for records.jsonl, summary.csv, summary.md")
 	dryrun := flag.Bool("dryrun", false, "print the scenario list and exit without running")
 	quiet := flag.Bool("quiet", false, "suppress the live progress line on stderr")
+	events := flag.String("events", "", "also write the sweep's structured events (internal/obs) to this NDJSON file")
+	top := flag.Bool("top", false, "render the live top view on stderr instead of the one-line progress ticker")
 	flag.Parse()
 
 	// Validate flags up front, before any expansion or execution, so a bad
@@ -115,7 +137,7 @@ func main() {
 		fmt.Printf("%d scenarios (shard %d/%d of %d)\n", len(scenarios), i, m, total)
 		return
 	}
-	if err := runCampaign(scenarios, i, m, total, *workers, *out, *quiet, cache); err != nil {
+	if err := runCampaign(scenarios, i, m, total, *workers, *out, *quiet, *top, *events, cache); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -128,7 +150,7 @@ func usageError(err error) {
 	os.Exit(2)
 }
 
-func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers int, outDir string, quiet bool, cache *campaign.Cache) error {
+func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers int, outDir string, quiet, top bool, eventsPath string, cache *campaign.Cache) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -141,11 +163,33 @@ func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers i
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// Optional event consumers attach BEFORE the run so the campaign.start
+	// event is theirs too; with neither flag the bus has no subscriber and
+	// every emit site stays a single atomic load.
+	if eventsPath != "" {
+		stopLog, err := startEventLog(ctx, eventsPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stopLog(); err != nil {
+				log.Printf("event log: %v", err)
+			}
+		}()
+	}
+	stopTop := func() {}
+	if top {
+		quiet = true // the top view replaces the one-line ticker
+		stopTop = startLocalTop(ctx)
+		defer stopTop() // idempotent; also called before the summary prints
+	}
+
 	fmt.Fprintf(os.Stderr, "ringfarm: running %d scenarios (shard %d/%d of %d) on %d workers\n",
 		len(scenarios), shardI, shardM, total, effectiveWorkers(workers, len(scenarios)))
 	writer := campaign.NewOrderedWriter(jsonlF, scenarios)
 	agg := campaign.NewAggregator()
 	start := time.Now()
+	engStart := engine.CounterSnapshot()
 	lastProgress := time.Time{}
 	for rec := range campaign.Run(ctx, scenarios, campaign.Options{Workers: workers, Cache: cache}) {
 		if err := writer.Add(rec); err != nil {
@@ -154,9 +198,16 @@ func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers i
 		agg.Add(rec)
 		if !quiet && time.Since(lastProgress) > 100*time.Millisecond {
 			lastProgress = time.Now()
-			fmt.Fprintf(os.Stderr, "\rringfarm: %d/%d done  ok=%d failed=%d unsolvable=%d  %.1f scen/s ",
+			elapsed := time.Since(start).Seconds()
+			line := fmt.Sprintf("\rringfarm: %d/%d done  ok=%d failed=%d unsolvable=%d  %.1f scen/s",
 				agg.Total, len(scenarios), agg.OK, agg.Failed, agg.Unsolvable,
-				float64(agg.Total)/time.Since(start).Seconds())
+				float64(agg.Total)/elapsed)
+			eng := engine.CounterSnapshot()
+			line += fmt.Sprintf("  %s rounds/s", humanCount(float64(eng.Rounds-engStart.Rounds)/elapsed))
+			if served := agg.CacheHits + agg.CacheDedups; cache != nil && served+agg.CacheMisses > 0 {
+				line += fmt.Sprintf("  dedup %.1f%%", 100*float64(served)/float64(served+agg.CacheMisses))
+			}
+			fmt.Fprint(os.Stderr, line, " ")
 		}
 	}
 	if !quiet {
@@ -168,6 +219,7 @@ func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers i
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("campaign interrupted after %d of %d scenarios", agg.Total, len(scenarios))
 	}
+	stopTop() // final frame before the summary, so the summary stays visible
 
 	rows := agg.Summary()
 	csvF, err := os.Create(filepath.Join(outDir, "summary.csv"))

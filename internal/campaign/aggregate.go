@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"ringsym/internal/obs"
 )
 
 // GroupKey identifies one setting of the sweep: records sharing a key are
@@ -205,28 +207,11 @@ func lessKey(a, b GroupKey) bool {
 
 // Percentile returns the nearest-rank p-th percentile of a value→count
 // histogram holding count samples: the smallest value v such that at least
-// ceil(p/100 · count) samples are <= v.
+// ceil(p/100 · count) samples are <= v.  The implementation lives in
+// internal/obs (the telemetry windows need the same exact-percentile fold);
+// this delegate keeps the campaign-side name every caller and test uses.
 func Percentile(hist map[int]int, count, p int) int {
-	if count <= 0 {
-		return 0
-	}
-	rank := (p*count + 99) / 100
-	if rank < 1 {
-		rank = 1
-	}
-	values := make([]int, 0, len(hist))
-	for v := range hist {
-		values = append(values, v)
-	}
-	sort.Ints(values)
-	seen := 0
-	for _, v := range values {
-		seen += hist[v]
-		if seen >= rank {
-			return v
-		}
-	}
-	return values[len(values)-1]
+	return obs.Percentile(hist, count, p)
 }
 
 func (k GroupKey) label() (parity, chir, cs string) {

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ringsym"
@@ -14,6 +15,7 @@ import (
 	"ringsym/internal/engine"
 	"ringsym/internal/memo"
 	"ringsym/internal/netgen"
+	"ringsym/internal/obs"
 	"ringsym/internal/ring"
 	"ringsym/internal/task"
 )
@@ -116,6 +118,9 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 	if opts.Cache != nil {
 		scenarios = DecorrelateOrbits(scenarios)
 	}
+	if obs.On() {
+		obs.Emit(obs.Event{Type: obs.CampaignStart, Level: obs.LevelInfo, Total: len(scenarios)})
+	}
 	go func() {
 		defer close(feed)
 		for _, sc := range scenarios {
@@ -127,6 +132,7 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 		}
 	}()
 	var wg sync.WaitGroup
+	var done atomic.Uint64
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -140,6 +146,10 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 				// contract): a consumer that keeps draining until close
 				// receives the record unless ctx.Done wins the race.
 				rec := RunScenarioContext(ctx, sc, opts)
+				n := done.Add(1)
+				if obs.On() && n%checkpointEvery == 0 {
+					obs.Emit(obs.Event{Type: obs.CampaignCheckpoint, Level: obs.LevelInfo, Done: int(n), Total: len(scenarios)})
+				}
 				select {
 				case out <- rec:
 				case <-ctx.Done():
@@ -150,9 +160,35 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 	}
 	go func() {
 		wg.Wait()
+		if obs.On() {
+			obs.Emit(obs.Event{Type: obs.CampaignFinish, Level: obs.LevelInfo, Done: int(done.Load()), Total: len(scenarios)})
+		}
 		close(out)
 	}()
 	return out
+}
+
+// checkpointEvery is the campaign.checkpoint cadence in completed scenarios:
+// frequent enough that a live view or durability layer tracking checkpoints
+// lags a sweep by well under a second, rare enough to be free next to the
+// per-scenario events.
+const checkpointEvery = 1000
+
+// emitScenarioDone publishes the completion event for one record:
+// scenario.error for failures (with the cause), scenario.finish otherwise.
+// Callers guard with obs.On(), so the Event — including its string fields —
+// is never built on a quiet bus.
+func emitScenarioDone(rec Record) {
+	ev := obs.Event{
+		Type: obs.ScenarioFinish, Level: obs.LevelInfo,
+		Task: string(rec.Task), Model: rec.Model, N: rec.N, Seed: rec.Seed, Index: rec.Index,
+		Status: string(rec.Status), Cache: rec.Cache,
+		Rounds: int64(rec.Rounds), WallMicros: rec.Wall.Microseconds(),
+	}
+	if rec.Status == StatusFailed {
+		ev.Type, ev.Level, ev.Err = obs.ScenarioError, obs.LevelError, rec.Error
+	}
+	obs.Emit(ev)
 }
 
 // decorrelateWindow is the reorder horizon of DecorrelateOrbits: scenarios
@@ -219,6 +255,12 @@ func RunScenario(sc Scenario, opts Options) Record {
 // cause), rather than running until the engine's round bound.
 func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Record) {
 	start := time.Now()
+	if obs.On() {
+		obs.Emit(obs.Event{
+			Type: obs.ScenarioStart, Level: obs.LevelDebug,
+			Task: string(sc.Task), Model: sc.Model, N: sc.N, Seed: sc.Seed, Index: sc.Index,
+		})
+	}
 	rec = Record{Scenario: sc}
 	defer func() {
 		if r := recover(); r != nil {
@@ -230,6 +272,9 @@ func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Rec
 			}
 		}
 		rec.Wall = time.Since(start)
+		if obs.On() {
+			emitScenarioDone(rec)
+		}
 	}()
 	if testHookScenario != nil {
 		testHookScenario(sc)
@@ -339,6 +384,11 @@ func ProbeCache(sc Scenario, opts Options) (Record, bool) {
 	rec.Bound, rec.BoundStr = spec.Bound(model, oddN, sc.CommonSense, sc.N, sc.IDBound)
 	rec.fill(spec.MapOutcome(out, m))
 	rec.Cache = memo.Hit.String()
+	// A probe hit never reaches RunScenarioContext, so its completion event is
+	// emitted here: cache-served scenarios stay visible on the event spine.
+	if obs.On() {
+		emitScenarioDone(rec)
+	}
 	return rec, true
 }
 

@@ -408,7 +408,9 @@ func (b *barrier) executeLeap(selfIdx int) (err error) {
 			break
 		}
 	}
-	ctrCrossings.Add(1)
+	if c := ctrCrossings.Add(1); c&leapSampleMask == 0 {
+		emitLeapSample(c)
+	}
 
 	// Release phase.  Count completions first and re-arm the countdown before
 	// the first complete flag is set: a released agent may resubmit (and

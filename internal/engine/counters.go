@@ -1,18 +1,54 @@
 package engine
 
-import "sync/atomic"
+import "ringsym/internal/obs"
 
-// Process-wide execution totals of the round runtimes, exported so serving
-// layers (ringd /metrics) can report engine throughput without reaching into
-// individual networks.  Rounds counts synchronised rounds executed on the
-// analytic engine; crossings counts barrier crossings (leap batches) — one
-// crossing executes one or more rounds, so rounds/crossings is the mean leap
-// length and the direct measure of how much the batched submission API is
-// collapsing barrier traffic.
+// Process-wide execution totals of the round runtimes, held as obs-registered
+// counters so serving layers get them in the Prometheus exposition for free
+// and /metrics JSON keeps its snapshot shape via CounterSnapshot.  Rounds
+// counts synchronised rounds executed on the analytic engine; leap batches
+// count barrier crossings — one crossing executes one or more rounds, so
+// rounds/crossings is the mean leap length and the direct measure of how much
+// the batched submission API is collapsing barrier traffic.  The hot-path
+// cost is unchanged: an obs.Counter add is the same single atomic add as the
+// bespoke atomics these replaced.
 var (
-	ctrRounds    atomic.Uint64
-	ctrCrossings atomic.Uint64
+	ctrRounds    = obs.NewCounter("ringsym_engine_rounds_total", "Synchronised rounds executed on the analytic engine.")
+	ctrCrossings = obs.NewCounter("ringsym_engine_leap_batches_total", "Barrier crossings (leap batches) that executed those rounds.")
 )
+
+// leapSampleMask samples engine.leap events to one per 1024 barrier
+// crossings: the crossing rate reaches millions per second, and per-crossing
+// events would only be dropped by every subscriber's bounded ring anyway.
+// Each sampled event carries the cumulative totals, so consumers recover
+// exact rates from any two samples.
+const leapSampleMask = 1<<10 - 1
+
+// The executors note a crossing with
+//
+//	if c := ctrCrossings.Add(1); c&leapSampleMask == 0 {
+//	    emitLeapSample(c)
+//	}
+//
+// open-coded at the call sites rather than wrapped in a helper: the crossing
+// counter sits on the barrier hot path, the pre-telemetry code was an inlined
+// atomic add, and a helper carrying the add, the mask test and a call does
+// not fit the compiler's inlining budget.  Everything beyond the mask test —
+// including the bus check, needed just once per 1024 crossings — lives in the
+// cold emitLeapSample.
+
+// emitLeapSample publishes one sampled engine.leap event with the cumulative
+// totals (a no-op on a quiet bus).
+func emitLeapSample(crossings uint64) {
+	if !obs.On() {
+		return
+	}
+	obs.Emit(obs.Event{
+		Type:      obs.EngineLeap,
+		Level:     obs.LevelDebug,
+		Rounds:    int64(ctrRounds.Load()),
+		Crossings: int64(crossings),
+	})
+}
 
 // Counters is a snapshot of the process-wide execution totals.
 type Counters struct {

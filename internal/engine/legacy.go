@@ -176,7 +176,9 @@ func (nw *Network) coordinateLegacy(reqCh <-chan roundRequest, n int) error {
 			continue
 		}
 		ctrRounds.Add(1)
-		ctrCrossings.Add(1)
+		if c := ctrCrossings.Add(1); c&leapSampleMask == 0 {
+			emitLeapSample(c)
+		}
 		for _, req := range pending {
 			req.reply <- roundReply{obs: out.Agents[req.idx]}
 		}

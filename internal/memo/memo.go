@@ -27,7 +27,31 @@ import (
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
+
+	"ringsym/internal/obs"
 )
+
+// Process-wide service totals, summed across every Cache in the process and
+// registered in the obs metric registry: per-instance Stats() keeps answering
+// "how is this cache doing", while the Prometheus exposition and the event
+// spine see the fleet-facing totals without any snapshot plumbing.  Each
+// cache operation also emits a cache.* event when the bus is live; the events
+// carry no payload, so the hot path allocates nothing.
+var (
+	totHits      = obs.NewCounter("ringsym_memo_hits_total", "Cache lookups served from a stored value, across all caches.")
+	totMisses    = obs.NewCounter("ringsym_memo_misses_total", "Cache lookups that executed the computation, across all caches.")
+	totDedups    = obs.NewCounter("ringsym_memo_dedups_total", "Cache lookups that joined an in-flight computation, across all caches.")
+	totEvictions = obs.NewCounter("ringsym_memo_evictions_total", "Entries dropped by the LRU bound, across all caches.")
+)
+
+// note records one service outcome on the process-wide counter and the event
+// bus.  With no subscribers the event branch is a single atomic load.
+func note(ctr *obs.Counter, t obs.Type) {
+	ctr.Add(1)
+	if obs.On() {
+		obs.Emit(obs.Event{Type: t, Level: obs.LevelDebug})
+	}
+}
 
 // Kind classifies how a Do call was served.
 type Kind int8
@@ -138,6 +162,7 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	if el, ok := s.entries[key]; ok {
 		s.lru.MoveToFront(el)
 		c.hits.Add(1)
+		note(totHits, obs.CacheHit)
 		return el.Value.(*entry[V]).val, true
 	}
 	var zero V
@@ -162,12 +187,14 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func(context.Context) 
 		v := el.Value.(*entry[V]).val
 		s.mu.Unlock()
 		c.hits.Add(1)
+		note(totHits, obs.CacheHit)
 		return v, Hit, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
 		cl.waiters++
 		s.mu.Unlock()
 		c.dedups.Add(1)
+		note(totDedups, obs.CacheDedup)
 		v, err := c.wait(ctx, s, key, cl)
 		return v, Dedup, err
 	}
@@ -176,6 +203,7 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func(context.Context) 
 	s.inflight[key] = cl
 	s.mu.Unlock()
 	c.misses.Add(1)
+	note(totMisses, obs.CacheMiss)
 
 	go func() {
 		var v V
@@ -255,6 +283,7 @@ func (c *Cache[V]) insertLocked(s *shard[V], key string, val V) {
 		s.lru.Remove(back)
 		delete(s.entries, back.Value.(*entry[V]).key)
 		c.evictions.Add(1)
+		note(totEvictions, obs.CacheEvict)
 	}
 }
 

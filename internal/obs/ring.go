@@ -1,0 +1,83 @@
+package obs
+
+import "sync/atomic"
+
+// ring is a bounded lock-free multi-producer single-consumer event queue —
+// Vyukov's bounded MPMC algorithm specialised to one consumer.  Every slot
+// carries a sequence number that hands exclusive ownership back and forth
+// between producers and the consumer, so the Event payload itself is written
+// and read without locks or torn reads: the atomic sequence store after the
+// payload write is the release that the consumer's sequence load acquires.
+//
+// tryPush never blocks: a full ring fails fast and the caller counts the
+// drop.  That is the backpressure contract of the whole bus — slow consumers
+// lose events, producers lose nothing.
+type ring struct {
+	mask  uint64
+	slots []slot
+	enq   atomic.Uint64
+	deq   atomic.Uint64
+}
+
+type slot struct {
+	// seq encodes the slot state relative to the queue position pos that
+	// maps to it: seq == pos (free, claimable by a producer), seq == pos+1
+	// (published, readable by the consumer), seq == pos+mask+1 (consumed,
+	// free for the producer one lap ahead).
+	seq atomic.Uint64
+	ev  Event
+}
+
+// newRing returns a ring holding capacity events, rounded up to a power of
+// two (minimum 2).
+func newRing(capacity int) *ring {
+	c := 2
+	for c < capacity {
+		c <<= 1
+	}
+	r := &ring{mask: uint64(c - 1), slots: make([]slot, c)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush enqueues ev, returning false (without blocking or spinning against
+// the consumer) when the ring is full.  Safe for concurrent producers.
+func (r *ring) tryPush(ev Event) bool {
+	for {
+		pos := r.enq.Load()
+		s := &r.slots[pos&r.mask]
+		switch d := int64(s.seq.Load()) - int64(pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.ev = ev
+				s.seq.Store(pos + 1)
+				return true
+			}
+		case d < 0:
+			// The consumer has not released this slot from the previous lap:
+			// the ring is full.
+			return false
+		}
+		// d > 0: another producer claimed pos between our loads; retry at
+		// the advanced head.
+	}
+}
+
+// tryPop dequeues the next event, returning ok=false when the ring is empty.
+// Single consumer only.
+func (r *ring) tryPop() (Event, bool) {
+	pos := r.deq.Load()
+	s := &r.slots[pos&r.mask]
+	if int64(s.seq.Load())-int64(pos+1) < 0 {
+		return Event{}, false
+	}
+	ev := s.ev
+	// Clear the slot before releasing it so the ring does not pin the event's
+	// strings for a whole lap, then hand it to the producer a lap ahead.
+	s.ev = Event{}
+	s.seq.Store(pos + r.mask + 1)
+	r.deq.Store(pos + 1)
+	return ev, true
+}

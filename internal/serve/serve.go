@@ -19,8 +19,17 @@
 //	                   JSONL in scenario-index order
 //	GET  /v1/tasks     the task registry: every runnable task with its
 //	                   description (JSON array, sorted by name)
+//	GET  /v1/events    the live structured-event stream (internal/obs) as
+//	                   NDJSON, with ?types= and ?level= client-side filters;
+//	                   each subscriber gets a bounded queue that drops (and
+//	                   counts) rather than ever back-pressuring the workers
 //	GET  /healthz      liveness: {"status":"ok"}
 //	GET  /metrics      throughput and cache counters (JSON)
+//	GET  /metrics/prometheus  the same counters plus every obs-registered
+//	                   metric, in Prometheus text exposition format
+//
+// With Options.Pprof, the net/http/pprof handlers are additionally served
+// under /debug/pprof/.
 //
 // Any task registered in internal/task is servable; requests naming an
 // unregistered task fail with 400 and an error listing the registry.
@@ -33,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"sync"
@@ -42,6 +52,7 @@ import (
 	"ringsym/internal/campaign"
 	"ringsym/internal/engine"
 	"ringsym/internal/memo"
+	"ringsym/internal/obs"
 	"ringsym/internal/task"
 )
 
@@ -72,12 +83,22 @@ type Options struct {
 	// its stream would block its handler in Write forever and, through the
 	// full delivery channel, wedge every shared worker.
 	WriteTimeout time.Duration
+	// Pprof additionally serves the net/http/pprof profiling handlers under
+	// /debug/pprof/.  Off by default: profiling endpoints on a production
+	// daemon are opt-in.
+	Pprof bool
+	// EventBuffer is the per-subscriber queue capacity of GET /v1/events in
+	// events; defaults to 4096.  A subscriber that falls further behind
+	// loses events (counted in the obs bus drop counter and the metrics
+	// snapshot) instead of slowing any producer down.
+	EventBuffer int
 }
 
 const (
 	defaultMaxCampaignScenarios = 100000
 	defaultMaxN                 = 4096
 	defaultWriteTimeout         = 30 * time.Second
+	defaultEventBuffer          = 4096
 )
 
 // maxBodyBytes bounds request bodies; matrix specs and scenarios are tiny.
@@ -121,6 +142,9 @@ func New(opts Options) *Server {
 	}
 	if opts.WriteTimeout <= 0 {
 		opts.WriteTimeout = defaultWriteTimeout
+	}
+	if opts.EventBuffer <= 0 {
+		opts.EventBuffer = defaultEventBuffer
 	}
 	s := &Server{
 		opts:  opts,
@@ -203,8 +227,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("GET /v1/tasks", s.handleTasks)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/prometheus", s.handleMetricsPrometheus)
+	if s.opts.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -236,15 +269,27 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 }
 
 // httpError writes a JSON error body with the given status.  Only 4xx
-// responses count as bad requests: a 503 from a submission racing graceful
-// shutdown is server-side churn, not malformed client input.
-func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
+// responses count as bad requests (and emit serve.reject): a 503 from a
+// submission racing graceful shutdown is server-side churn, not malformed
+// client input.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	if status >= 400 && status < 500 {
 		s.badRequests.Add(1)
+		if obs.On() {
+			obs.Emit(obs.Event{Type: obs.ServeReject, Level: obs.LevelWarn, Endpoint: r.URL.Path, Err: err.Error()})
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// noteRequest counts an accepted request and emits its serve.request event.
+func (s *Server) noteRequest(ctr *atomic.Uint64, r *http.Request) {
+	ctr.Add(1)
+	if obs.On() {
+		obs.Emit(obs.Event{Type: obs.ServeRequest, Level: obs.LevelDebug, Endpoint: r.URL.Path})
+	}
 }
 
 // decodeStrict decodes exactly one JSON value from the (size-bounded) body,
@@ -296,14 +341,14 @@ func (s *Server) validateScenario(sc *campaign.Scenario) error {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var sc campaign.Scenario
 	if err := decodeStrict(w, r, &sc); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad scenario: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad scenario: %w", err))
 		return
 	}
 	if err := s.validateScenario(&sc); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad scenario: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad scenario: %w", err))
 		return
 	}
-	s.runRequests.Add(1)
+	s.noteRequest(&s.runRequests, r)
 	// Cache hits are answered on this request goroutine: joining the pool
 	// for a no-work lookup would let a burst of identical requests park
 	// workers that unrelated clients need.  The probe's own cost —
@@ -321,7 +366,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	out := make(chan campaign.Record, 1)
 	if err := s.submit(ctx, sc, out); err != nil {
 		if errors.Is(err, errServerClosed) {
-			s.httpError(w, http.StatusServiceUnavailable, err)
+			s.httpError(w, r, http.StatusServiceUnavailable, err)
 		}
 		return // client gone; nothing to write
 	}
@@ -338,7 +383,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	var m campaign.Matrix
 	if err := decodeStrict(w, r, &m); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad matrix spec: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad matrix spec: %w", err))
 		return
 	}
 	// Bound the request BEFORE expansion: Expand allocates one Scenario per
@@ -346,21 +391,21 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	// rejected from the axis lengths alone, not after the allocation.
 	bound, maxN := m.UpperBounds()
 	if bound > s.opts.MaxCampaignScenarios {
-		s.httpError(w, http.StatusBadRequest,
+		s.httpError(w, r, http.StatusBadRequest,
 			fmt.Errorf("matrix expands to up to %d scenarios, above the limit of %d", bound, s.opts.MaxCampaignScenarios))
 		return
 	}
 	if maxN > s.opts.MaxN {
-		s.httpError(w, http.StatusBadRequest,
+		s.httpError(w, r, http.StatusBadRequest,
 			fmt.Errorf("matrix contains n = %d, above this daemon's limit of %d", maxN, s.opts.MaxN))
 		return
 	}
 	scenarios, err := m.Expand()
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	s.campaignRequests.Add(1)
+	s.noteRequest(&s.campaignRequests, r)
 	ctx := r.Context()
 
 	// Feed the pool from a separate goroutine so records stream back (in
@@ -464,9 +509,26 @@ type Metrics struct {
 	Engine engine.Counters `json:"engine"`
 	// Cache is present only when the daemon runs with the memo cache.
 	Cache *memo.Stats `json:"cache,omitempty"`
+	// Events is the fan-out accounting of the structured-event bus backing
+	// GET /v1/events: current subscribers, events published, and events
+	// dropped against stalled subscribers (the drop-and-count backpressure
+	// contract made visible).
+	Events obs.BusStats `json:"events"`
 }
 
 // Snapshot returns the current metrics.
+//
+// Consistency semantics: the counters are independent atomics updated while
+// requests are in flight, so a snapshot is not a linearizable cut of the
+// server's state — there is no global lock to take, by design.  What the
+// snapshot does guarantee is single-pass consistency: every counter is
+// captured exactly once, in an order that preserves the subset invariants
+// under concurrent progress (a worker adds to records before failed or
+// cancelled, so failed and cancelled are loaded first and
+// Failed + Cancelled <= Records always holds), and every derived value
+// (RecordsPerSecond, the engine's mean rounds per crossing, cache ratios a
+// client computes) is a function of the captured values, never a second
+// racing read.
 func (s *Server) Snapshot() Metrics {
 	uptime := time.Since(s.start).Seconds()
 	m := Metrics{
@@ -475,10 +537,12 @@ func (s *Server) Snapshot() Metrics {
 		RunRequests:      s.runRequests.Load(),
 		CampaignRequests: s.campaignRequests.Load(),
 		BadRequests:      s.badRequests.Load(),
-		Records:          s.records.Load(),
-		Failed:           s.failed.Load(),
-		Cancelled:        s.cancelled.Load(),
-		Engine:           engine.CounterSnapshot(),
+		// failed/cancelled before records: see the invariant above.
+		Failed:    s.failed.Load(),
+		Cancelled: s.cancelled.Load(),
+		Records:   s.records.Load(),
+		Engine:    engine.CounterSnapshot(),
+		Events:    obs.Default.Stats(),
 	}
 	if uptime > 0 {
 		m.RecordsPerSecond = float64(m.Records) / uptime
@@ -493,4 +557,75 @@ func (s *Server) Snapshot() Metrics {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.Snapshot())
+}
+
+// handleMetricsPrometheus renders the same snapshot in the Prometheus text
+// exposition format, followed by every metric registered in the obs default
+// registry (engine round/crossing totals, memo cache totals, bus fan-out
+// accounting).  Serve-layer metrics are prefixed ringsym_serve_.
+func (s *Server) handleMetricsPrometheus(w http.ResponseWriter, r *http.Request) {
+	m := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg := obs.NewRegistry()
+	reg.Gauge("ringsym_serve_uptime_seconds", "Seconds since the worker pool started.", func() float64 { return m.UptimeSeconds })
+	reg.Gauge("ringsym_serve_workers", "Size of the shared scenario worker pool.", func() float64 { return float64(m.Workers) })
+	reg.CounterFunc("ringsym_serve_run_requests_total", "Accepted POST /v1/run requests.", func() float64 { return float64(m.RunRequests) })
+	reg.CounterFunc("ringsym_serve_campaign_requests_total", "Accepted POST /v1/campaign requests.", func() float64 { return float64(m.CampaignRequests) })
+	reg.CounterFunc("ringsym_serve_bad_requests_total", "Rejected (4xx) requests.", func() float64 { return float64(m.BadRequests) })
+	reg.CounterFunc("ringsym_serve_records_total", "Scenarios executed or served from the cache.", func() float64 { return float64(m.Records) })
+	reg.CounterFunc("ringsym_serve_failed_total", "Scenarios that genuinely failed.", func() float64 { return float64(m.Failed) })
+	reg.CounterFunc("ringsym_serve_cancelled_total", "Scenarios aborted by client disconnects.", func() float64 { return float64(m.Cancelled) })
+	if m.Cache != nil {
+		reg.Gauge("ringsym_memo_entries", "Cached outcomes resident in this daemon's memo cache.", func() float64 { return float64(m.Cache.Entries) })
+	}
+	if err := reg.WritePrometheus(w); err != nil {
+		return
+	}
+	obs.Metrics.WritePrometheus(w)
+}
+
+// handleEvents streams the daemon's structured events as NDJSON until the
+// client disconnects.  Filters: ?types=scenario,cache.hit (comma-separated
+// types or dotted prefixes) and ?level=info (minimum level).  The
+// subscription's queue is bounded (Options.EventBuffer): a subscriber that
+// reads slower than the daemon emits loses events — visible in the metrics
+// snapshot's drop counter — and a subscriber that stops reading entirely is
+// disconnected by the per-write deadline.  Workers never wait on either.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sopts := obs.SubOptions{Buffer: s.opts.EventBuffer}
+	if tp := r.URL.Query().Get("types"); tp != "" {
+		for _, t := range strings.Split(tp, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				sopts.Types = append(sopts.Types, t)
+			}
+		}
+	}
+	if lv := r.URL.Query().Get("level"); lv != "" {
+		minLvl, err := obs.ParseLevel(lv)
+		if err != nil {
+			s.httpError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		sopts.MinLevel = minLvl
+	}
+	sub := obs.Default.Subscribe(sopts)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	// Flush the header so a filtering client sees the stream is live before
+	// the first matching event arrives.
+	http.NewResponseController(w).Flush()
+
+	enc := json.NewEncoder(s.deadlineWriter(w))
+	ctx := r.Context()
+	for {
+		ev, err := sub.Next(ctx)
+		if err != nil {
+			return // client gone
+		}
+		if err := enc.Encode(ev); err != nil {
+			return // write failed or deadline hit: drop the subscriber
+		}
+	}
 }
