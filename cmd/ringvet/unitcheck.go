@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ringsym/internal/lint"
+	"ringsym/internal/lint/analysis"
+)
+
+// vetConfig is the JSON the go command writes for each package when ringvet
+// runs under `go vet -vettool=`.  The shape (and the protocol implemented
+// here) is the x/tools go/analysis/unitchecker contract: one invocation per
+// package, sources by name, every dependency pre-resolved to export data,
+// and a facts file that must be written even when empty because the build
+// system records it as the action's output.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by cfgFile and returns the
+// process exit code: 0 clean, 1 findings, 2 internal failure.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringvet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ringvet: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// The vet driver also dispatches test compilation units; ringvet's
+	// contract (like the direct driver's) is that test files are never
+	// analyzed — they are where violations are deliberately staged.  Test
+	// files are dropped before typechecking: non-test files cannot depend on
+	// them, so the remaining unit still typechecks, and a unit that was all
+	// tests is vacuously clean.
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "ringvet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	if len(files) == 0 {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "ringvet:", err)
+				return 2
+			}
+		}
+		return 0
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(importPath string) (io.ReadCloser, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tpkg, info, err := analysis.Check(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "ringvet:", err)
+		return 2
+	}
+
+	// The build system records VetxOutput as this action's product and feeds
+	// it to dependents via PackageVetx; ringvet's analyzers exchange no
+	// facts, so the file is written empty — but it must be written.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ringvet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg := &analysis.Package{
+		Path:      cfg.ImportPath,
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringvet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -308,6 +308,7 @@ func (nw *Network) endRun() {
 // number of rounds consumed.  Protocol errors from different agents are
 // joined into a single error.
 func Run[T any](nw *Network, protocol func(a *Agent) (T, error)) (*Result[T], error) {
+	//ringvet:allow ctxflow context-free compatibility wrapper: RunContext is the cancellable form
 	return RunContext(context.Background(), nw, protocol)
 }
 

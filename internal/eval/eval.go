@@ -205,6 +205,7 @@ func Bound(s Setting, p Problem, n, idBound int) (float64, string) {
 // discover scenario per (setting, size) cell, run on the campaign worker
 // pool, and the records are folded back into table measurements.
 func TableRows(settings []Setting, cfg SweepConfig) ([]Measurement, error) {
+	//ringvet:allow ctxflow context-free compatibility wrapper: TableRowsContext is the cancellable form
 	return TableRowsContext(context.Background(), settings, cfg)
 }
 

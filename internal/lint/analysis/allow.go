@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces the suppression comment every analyzer honors:
+//
+//	//ringvet:allow <analyzer> <reason...>
+//
+// The comment suppresses diagnostics of the named analyzer on its own line
+// and on the line directly below it, so both placements read naturally:
+//
+//	x := now()                    //ringvet:allow determinism wall time is telemetry-only
+//
+//	//ringvet:allow ctxflow compatibility wrapper, context-free by contract
+//	return RunContext(context.Background(), nw, protocol)
+//
+// The reason is mandatory: an allow without a justification is itself
+// reported (as the pseudo-analyzer "allow"), so the escape hatch cannot decay
+// into bare switch-it-off markers.
+const allowPrefix = "//ringvet:allow"
+
+// allowSet indexes allow comments by (file, line, analyzer).
+type allowSet map[allowKey]bool
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppressed reports whether a diagnostic of the named analyzer at posn is
+// covered by an allow comment on the same line or the line above.
+func (s allowSet) suppressed(analyzer string, posn token.Position) bool {
+	return s[allowKey{posn.Filename, posn.Line, analyzer}] ||
+		s[allowKey{posn.Filename, posn.Line - 1, analyzer}]
+}
+
+// collectAllows scans the files' comments for //ringvet:allow markers.
+// Malformed markers are returned as findings instead of entries: a marker
+// that names no analyzer or gives no reason must fail the run, not silently
+// allow nothing (or worse, look like it allows something).
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Finding) {
+	set := allowSet{}
+	var malformed []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Analyzer: "allow",
+						Pos:      posn,
+						Message:  "malformed ringvet:allow: want \"//ringvet:allow <analyzer> <reason>\" (reason is mandatory)",
+					})
+					continue
+				}
+				set[allowKey{posn.Filename, posn.Line, fields[0]}] = true
+			}
+		}
+	}
+	return set, malformed
+}

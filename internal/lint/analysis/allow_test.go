@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func f() {
+	_ = 1 //ringvet:allow determinism benchmark path, wall clock by definition
+	//ringvet:allow ctxflow compatibility wrapper
+	_ = 2
+	_ = 3 //ringvet:allow obsguard
+	//ringvet:allow
+	_ = 4
+}
+`
+
+func parseAllowSrc(t *testing.T) (*token.FileSet, allowSet, []Finding) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, malformed := collectAllows(fset, []*ast.File{f})
+	return fset, set, malformed
+}
+
+func TestAllowSuppression(t *testing.T) {
+	_, set, _ := parseAllowSrc(t)
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "allow.go", Line: line}
+	}
+	if !set.suppressed("determinism", at(4)) {
+		t.Error("same-line allow does not suppress")
+	}
+	if !set.suppressed("ctxflow", at(6)) {
+		t.Error("line-above allow does not suppress")
+	}
+	if set.suppressed("ctxflow", at(7)) {
+		t.Error("allow leaks two lines down")
+	}
+	if set.suppressed("obsguard", at(4)) {
+		t.Error("allow for one analyzer suppresses another")
+	}
+}
+
+func TestAllowRequiresReason(t *testing.T) {
+	_, set, malformed := parseAllowSrc(t)
+
+	// Line 7: analyzer named but no reason; line 8: nothing at all.  Both
+	// must surface as malformed instead of entering the set.
+	if set.suppressed("obsguard", token.Position{Filename: "allow.go", Line: 7}) {
+		t.Error("reason-less allow entered the suppression set")
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("want 2 malformed-allow findings, got %d: %v", len(malformed), malformed)
+	}
+	for _, f := range malformed {
+		if f.Analyzer != "allow" || !strings.Contains(f.Message, "reason is mandatory") {
+			t.Errorf("unexpected malformed-allow finding: %+v", f)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package analysis is the kernel of ringvet, the repository's static-analysis
+// suite: a deliberately small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface the analyzers in internal/lint/...
+// actually use.
+//
+// The repository has a standing constraint of zero external modules (the
+// build must work from a bare toolchain with no module proxy), so the usual
+// foundation — x/tools' go/analysis, go/packages and analysistest — is not
+// available.  This package provides the same three pieces from the standard
+// library alone:
+//
+//   - Analyzer/Pass/Diagnostic (this file): the x/tools-shaped contract an
+//     analyzer is written against.  The shapes match field-for-field for the
+//     subset we use, so migrating to the real go/analysis later is a
+//     mechanical import swap, not a rewrite.
+//   - a package loader (load.go): `go list -export` metadata plus the
+//     standard gc export-data importer gives full go/types information for
+//     every package in the module without compiling anything twice.
+//   - the //ringvet:allow escape hatch (allow.go): file-scoped suppression
+//     honored uniformly for every analyzer, applied by the driver after the
+//     analyzers run so no analyzer can forget it.
+//
+// Analyzers are pure functions from a typed package to diagnostics: they
+// must not look at the filesystem, the environment, or mutate shared state,
+// so the driver may run them in any order over any subset of packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one named invariant check.  The field shapes mirror
+// golang.org/x/tools/go/analysis.Analyzer for the subset ringvet uses.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //ringvet:allow
+	// comments.  It must be a short stable lowercase identifier ([a-z][a-z0-9]*),
+	// never a URL: allow comments referencing it live in source files for
+	// years.
+	Name string
+
+	// Doc is the analyzer's documentation: first line a one-sentence summary,
+	// then the invariant it enforces and the accepted idioms.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics through
+	// pass.Report.  The returned error aborts the whole ringvet run (reserved
+	// for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run with a single typed package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.diagnostics = append(p.diagnostics, d) }
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Finding is a positioned diagnostic attributed to its analyzer, as
+// produced by Run after //ringvet:allow filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package, filters the diagnostics
+// through the packages' //ringvet:allow comments, and returns the surviving
+// findings sorted by position.  Malformed allow comments (missing analyzer
+// name or empty reason) surface as findings under the pseudo-analyzer name
+// "allow" so they cannot silently suppress nothing.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows, malformed := collectAllows(pkg.Fset, pkg.Files)
+		findings = append(findings, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+			}
+			for _, d := range pass.diagnostics {
+				posn := pkg.Fset.Position(d.Pos)
+				if allows.suppressed(a.Name, posn) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

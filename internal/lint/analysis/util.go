@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WithStack walks every file, invoking fn with each node and the stack of
+// its ancestors (stack[0] is the *ast.File, stack[len-1] is n itself).
+// Returning false prunes the subtree.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Callee resolves the function or method a call expression invokes, or nil
+// for calls through function values, type conversions and built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// EnclosingFunc returns the innermost function declaration or literal on the
+// stack, and the index at which it sits.
+func EnclosingFunc(stack []ast.Node) (ast.Node, int) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i], i
+		}
+	}
+	return nil, -1
+}
+
+// FuncBody returns the body of a node returned by EnclosingFunc.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}

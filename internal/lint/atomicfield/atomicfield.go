@@ -1,0 +1,117 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct fields:
+// a field that is accessed through sync/atomic anywhere in a package must be
+// accessed through sync/atomic everywhere in that package.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ringsym/internal/lint/analysis"
+)
+
+// Analyzer flags non-atomic accesses to fields that are elsewhere accessed
+// via sync/atomic.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: `a field accessed via sync/atomic anywhere must be accessed atomically everywhere
+
+Mixing atomic and plain access to the same word is the torn-read/lost-update
+class the serve metrics snapshot once shipped: a plain load can observe a
+half-updated value (or be hoisted by the compiler), and a plain store can
+silently erase a concurrent atomic add.  Within each package, the analyzer
+collects every struct field whose address is passed to a sync/atomic
+function (atomic.AddUint64(&s.n, 1), ...) and then flags every other plain
+read, write or address-taking of the same field.
+
+The modern fix is usually stronger than an annotation: declare the field as
+an atomic type (atomic.Uint64 and friends), which makes non-atomic access
+unrepresentable.  Initialisation paths that provably run before the value is
+shared can keep plain access under a //ringvet:allow with that argument.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields whose address feeds a sync/atomic call.
+	atomicFields := map[*types.Var]bool{}
+	analysis.WithStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if f := addressedField(pass.TypesInfo, arg); f != nil {
+				atomicFields[f] = true
+			}
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must be atomic too.
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f := selectedField(pass.TypesInfo, sel)
+		if f == nil || !atomicFields[f] {
+			return true
+		}
+		if isSanctioned(pass.TypesInfo, stack) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s is accessed via sync/atomic elsewhere in this package; this plain access can tear (use the atomic API everywhere, or declare the field as an atomic type)",
+			f.Name())
+		return true
+	})
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// addressedField returns the struct field var when expr is &x.f, else nil.
+func addressedField(info *types.Info, expr ast.Expr) *types.Var {
+	unary, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(info, sel)
+}
+
+// selectedField returns the field var a selector denotes, or nil when the
+// selector is not a struct-field selection.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// isSanctioned reports whether the field selection at the top of the stack
+// is itself an atomic access: &x.f passed directly to a sync/atomic call.
+func isSanctioned(info *types.Info, stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	unary, ok := stack[len(stack)-2].(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && isAtomicCall(info, call)
+}

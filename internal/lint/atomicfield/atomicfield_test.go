@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"ringsym/internal/lint/analysis/analysistest"
+	"ringsym/internal/lint/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicfield.Analyzer, "atomicfix")
+}

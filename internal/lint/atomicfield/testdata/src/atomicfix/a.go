@@ -1,0 +1,47 @@
+// Package atomicfix stages mixed atomic/plain field access for the
+// atomicfield analyzer.
+package atomicfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type metrics struct {
+	records  uint64
+	failed   uint64
+	plain    int
+	mu       sync.Mutex
+	shutdown uint64
+}
+
+func (m *metrics) note() {
+	atomic.AddUint64(&m.records, 1)
+	atomic.AddUint64(&m.failed, 1)
+	atomic.AddUint64(&m.shutdown, 1)
+}
+
+func (m *metrics) snapshot() (uint64, uint64) {
+	r := atomic.LoadUint64(&m.records)
+	f := m.failed // want `field failed is accessed via sync/atomic elsewhere`
+	return r, f
+}
+
+func (m *metrics) reset() {
+	m.records = 0 // want `field records is accessed via sync/atomic elsewhere`
+}
+
+func (m *metrics) escape() *uint64 {
+	return &m.records // want `field records is accessed via sync/atomic elsewhere`
+}
+
+// plain is never touched atomically, so plain access is fine.
+func (m *metrics) bump() { m.plain++ }
+
+// The escape hatch: provably-unshared access keeps a justified allow.
+func (m *metrics) drain() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//ringvet:allow atomicfield read under mu after the last writer exited
+	return m.shutdown
+}

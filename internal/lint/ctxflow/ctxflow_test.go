@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"ringsym/internal/lint/analysis/analysistest"
+	"ringsym/internal/lint/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "a/internal/b", "app")
+}

@@ -1,0 +1,49 @@
+// Package b is an internal fixture package: fresh root contexts are flagged
+// here even outside context-receiving functions.
+package b
+
+import "context"
+
+type job struct{ ctx context.Context }
+
+func runUnthreaded() error {
+	ctx := context.Background() // want `context\.Background in an internal package severs cancellation`
+	return work(ctx, 1)
+}
+
+func runTODO() error {
+	return work(context.TODO(), 1) // want `context\.TODO in an internal package severs cancellation`
+}
+
+func dropped(ctx context.Context) error {
+	return work(context.Background(), 1) // want `context\.Background inside a function that receives ctx`
+}
+
+func droppedInClosure(ctx context.Context) func() error {
+	return func() error {
+		return work(context.Background(), 1) // want `context\.Background inside a function that receives ctx`
+	}
+}
+
+func threaded(ctx context.Context) error {
+	return work(ctx, 1)
+}
+
+func derived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(sub, 1)
+}
+
+// Run is the documented compatibility wrapper shape: context-free by
+// contract, annotated instead of rewritten.
+func Run() error {
+	//ringvet:allow ctxflow compatibility wrapper: the context-free API predates RunContext
+	return work(context.Background(), 1)
+}
+
+func work(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}

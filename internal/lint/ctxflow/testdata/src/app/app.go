@@ -1,0 +1,19 @@
+// Package app is outside internal/: root contexts are fine here, except
+// inside functions that already receive one.
+package app
+
+import "context"
+
+func main0() error {
+	return work(context.Background(), 1) // roots belong in main-adjacent code
+}
+
+func relay(ctx context.Context) error {
+	return work(context.Background(), 1) // want `context\.Background inside a function that receives ctx`
+}
+
+func work(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}

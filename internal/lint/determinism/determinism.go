@@ -1,0 +1,231 @@
+// Package determinism enforces the golden-artefacts discipline statically:
+// in the packages that produce Table I/II and the sweep artefacts, nothing
+// nondeterministic may flow into the output bytes.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ringsym/internal/lint/analysis"
+)
+
+// scopeSegments are the path segments naming the artefact-producing
+// packages: a package is in scope when its import path contains one of
+// these as a whole segment (so ringsym/internal/campaign and
+// ringsym/internal/task/tasktest are in scope, ringsym/internal/lint is
+// not).
+var scopeSegments = map[string]bool{
+	"campaign": true,
+	"canon":    true,
+	"task":     true,
+	"eval":     true,
+	"ring":     true,
+}
+
+// Analyzer flags nondeterminism sources in artefact-producing packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `artefact-producing packages must stay byte-deterministic
+
+The repository's core discipline is that Table I/II and the sweep artefacts
+are byte-identical across rewrites (testdata/golden/SHA256SUMS pins them in
+CI).  In the packages that produce them — campaign, canon, task, eval, ring —
+the analyzer flags the three nondeterminism sources that have historically
+threatened that bar:
+
+  - time.Now / time.Since: wall-clock values must never influence artefact
+    bytes.  Timing for telemetry is fine behind a //ringvet:allow stating so.
+  - the global math/rand source (rand.Intn, rand.Shuffle, ...): schedules
+    must come from a seeded rand.New(rand.NewSource(seed)); constructor
+    calls are allowed, shared-source calls are not.
+  - ranging over a map and letting the iteration order escape: writing or
+    encoding inside the loop body, or appending to an outer slice that is
+    never passed to a sort function in the same function.  The accepted
+    idiom is collect-keys-then-sort before anything order-sensitive.
+
+The map check is syntactic and function-local by design: it accepts a sort
+anywhere in the same function and does not chase values across calls, so it
+catches the way artefact code is actually written without a dataflow engine.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.FuncDecl:
+				checkMapRanges(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inScope(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if scopeSegments[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand calls that build a seeded private
+// source and are therefore deterministic.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s in artefact-producing package %s: wall-clock values must not reach deterministic artefacts",
+				fn.Name(), pass.Pkg.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand %s uses the shared process-wide source; derive schedules from rand.New(rand.NewSource(seed))",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRanges inspects every map-range in fn for iteration order leaking
+// into writers, encoders or unsorted collected slices.
+func checkMapRanges(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass.TypesInfo, rng) {
+			return true
+		}
+
+		var collected []*types.Var // outer slices appended to inside the loop
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := writerCall(pass.TypesInfo, n); ok {
+					pass.Reportf(n.Pos(),
+						"%s inside a map range: iteration order flows into the output; iterate a sorted copy of the keys", name)
+				}
+				if v := appendTarget(pass.TypesInfo, rng, n); v != nil {
+					collected = append(collected, v)
+				}
+			}
+			return true
+		})
+
+		for _, v := range collected {
+			if !sortedInFunc(pass.TypesInfo, fn, v) {
+				pass.Reportf(rng.Pos(),
+					"slice %s collects map keys/values but is never sorted in this function: iteration order escapes", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// writerCall recognises calls that serialise their arguments in call order:
+// fmt print family to a writer or stdout, and Write/Encode-shaped methods
+// (io.Writer, strings.Builder, json.Encoder, csv.Writer, ...).
+func writerCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+		return "fmt." + fn.Name(), true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return "fmt." + fn.Name(), true
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "EncodeToken":
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// appendTarget returns the variable v in `v = append(v, ...)` when v is
+// declared outside the range statement, else nil.
+func appendTarget(info *types.Info, rng *ast.RangeStmt, call *ast.CallExpr) *types.Var {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[target].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.Pos() >= rng.Pos() && v.Pos() <= rng.End() {
+		return nil // loop-local accumulator: its use is someone else's problem
+	}
+	return v
+}
+
+// sortedInFunc reports whether v appears as an argument to a sort/slices
+// ordering call anywhere in fn.
+func sortedInFunc(info *types.Info, fn *ast.FuncDecl, v *types.Var) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		callee := analysis.Callee(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch callee.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == v {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

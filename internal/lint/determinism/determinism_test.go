@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"ringsym/internal/lint/analysis/analysistest"
+	"ringsym/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "campaign", "other")
+}

@@ -1,0 +1,88 @@
+// Package campaign is a fixture named after a real artefact-producing
+// package so it lands in the determinism analyzer's scope.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads must not reach artefact bytes.
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in artefact-producing package`
+}
+
+func measured(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in artefact-producing package`
+}
+
+func telemetryWall() time.Duration {
+	//ringvet:allow determinism wall time feeds the event spine only, never a record
+	start := time.Now()
+	//ringvet:allow determinism wall time feeds the event spine only, never a record
+	return time.Since(start)
+}
+
+// Schedules must come from a seeded private source, not the global one.
+
+func schedule(n int) []int {
+	r := rand.New(rand.NewSource(42)) // constructors are fine
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Intn(n)) // method on a private source: fine
+	}
+	return out
+}
+
+func sloppySchedule(n int) int {
+	return rand.Intn(n) // want `global math/rand Intn uses the shared process-wide source`
+}
+
+func sloppyShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand Shuffle`
+}
+
+// Map iteration order must not escape into writers or unsorted slices.
+
+func exportUnsorted(w io.Writer, rows map[string]int) {
+	for k, v := range rows {
+		fmt.Fprintf(w, "%s,%d\n", k, v) // want `fmt\.Fprintf inside a map range`
+	}
+}
+
+func exportSorted(w io.Writer, rows map[string]int) {
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s,%d\n", k, rows[k])
+	}
+}
+
+func collectNoSort(rows map[string]int) []string {
+	var keys []string
+	for k := range rows { // want `slice keys collects map keys/values but is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRangeIsFine(w io.Writer, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}
+
+func aggregateIsFine(rows map[string]int) int {
+	total := 0
+	for _, v := range rows {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package other is outside the determinism scope: nothing here may be
+// flagged even though it does everything the analyzer dislikes.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wall() int64 { return time.Now().UnixNano() }
+
+func roll() int { return rand.Intn(6) }

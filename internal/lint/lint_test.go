@@ -1,0 +1,88 @@
+package lint_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ringsym/internal/lint"
+)
+
+// nameRE is the contract for analyzer names: short stable lowercase
+// identifiers, never URLs or versioned strings — they are written into
+// //ringvet:allow comments that live in source files for years.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
+
+// TestAnalyzerContract asserts every registered analyzer is documented,
+// stably named, runnable, and exercised by fixtures covering both a flagged
+// and an allowed case.
+func TestAnalyzerContract(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.All() {
+		if a.Name == "" || !nameRE.MatchString(a.Name) {
+			t.Errorf("analyzer name %q is not a stable lowercase identifier", a.Name)
+		}
+		if strings.Contains(a.Doc, "://") {
+			t.Errorf("%s: Doc contains a URL; docs must be self-contained", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("%s: empty Doc", a.Name)
+		}
+		if !strings.Contains(firstLine(a.Doc), " ") {
+			t.Errorf("%s: Doc %q does not start with a one-line summary", a.Name, firstLine(a.Doc))
+		}
+		if a.Run == nil {
+			t.Errorf("%s: nil Run", a.Name)
+		}
+		checkFixtures(t, a.Name)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// checkFixtures asserts the analyzer's package carries analysistest
+// fixtures with at least one expected diagnostic (`// want`) and at least
+// one exercised escape hatch (`//ringvet:allow <name>`).
+func checkFixtures(t *testing.T, name string) {
+	t.Helper()
+	src := filepath.Join(name, "testdata", "src")
+	if _, err := os.Stat(src); err != nil {
+		t.Errorf("%s: missing analysistest fixtures: %v", name, err)
+		return
+	}
+	var wants, allows int
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		wants += strings.Count(string(data), "// want ")
+		allows += strings.Count(string(data), "//ringvet:allow "+name+" ")
+		return nil
+	})
+	if err != nil {
+		t.Errorf("%s: walking fixtures: %v", name, err)
+		return
+	}
+	if wants == 0 {
+		t.Errorf("%s: fixtures never expect a diagnostic (no `// want`): the analyzer is untested against a violation", name)
+	}
+	if allows == 0 {
+		t.Errorf("%s: fixtures never exercise the //ringvet:allow escape hatch", name)
+	}
+}

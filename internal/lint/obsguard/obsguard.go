@@ -1,0 +1,156 @@
+// Package obsguard enforces the nil-cost-when-quiet contract of the
+// telemetry spine (internal/obs): emitting an event must never cost more
+// than one atomic load while nobody is subscribed.
+package obsguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ringsym/internal/lint/analysis"
+)
+
+// obsPath is the import path of the telemetry package whose contract this
+// analyzer enforces (fixtures provide a fake under the same path).
+const obsPath = "ringsym/internal/obs"
+
+// Analyzer flags obs emissions that are not dominated by an obs.On() guard.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsguard",
+	Doc: `obs emissions must be dominated by an obs.On() guard
+
+The observability contract (DESIGN.md, "Observability") is that a process
+with no subscribers pays one atomic pointer load per emit site and nothing
+else: no obs.Event value is constructed, no string is built, no call is made.
+The analyzer therefore requires every call to obs.Emit (or Bus.Publish) and
+every obs.Event composite literal outside package obs to be dominated by a
+guard on obs.On() (or Bus.Active()), in either accepted form:
+
+	if obs.On() {
+		obs.Emit(obs.Event{...})       // direct guard; && chains are fine
+	}
+
+	func emitX(...) {
+		if !obs.On() {
+			return                     // early-return guard at the top of
+		}                              // the emitting helper
+		obs.Emit(obs.Event{...})
+	}
+
+Constructing the Event before the guard is flagged even when the Emit itself
+is guarded: the construction is exactly the cost the contract forbids.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == obsPath {
+		return nil // the spine itself implements the machinery it guards
+	}
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isEmitCall(pass.TypesInfo, n) && !guarded(pass, stack) {
+				pass.Reportf(n.Pos(), "obs emit is not dominated by an obs.On() guard (a quiet bus must cost one atomic load, nothing more)")
+			}
+		case *ast.CompositeLit:
+			if isObsEvent(pass.TypesInfo.Types[n].Type) && !guarded(pass, stack) {
+				pass.Reportf(n.Pos(), "obs.Event constructed outside an obs.On() guard (no event may be built on a quiet bus)")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isEmitCall reports whether call publishes an event: obs.Emit or a Publish
+// method on a type of the obs package.
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return false
+	}
+	return fn.Name() == "Emit" || fn.Name() == "Publish"
+}
+
+// isOnCall reports whether call is the off-switch test: obs.On or an Active
+// method of the obs package.
+func isOnCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return false
+	}
+	return fn.Name() == "On" || fn.Name() == "Active"
+}
+
+// isObsEvent reports whether t is obs.Event (possibly via pointer).
+func isObsEvent(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == obsPath && obj.Name() == "Event"
+}
+
+// guarded reports whether the innermost node of stack is dominated by an
+// obs.On() guard: an enclosing `if <cond with obs.On()> { ... }` body, or an
+// earlier `if !obs.On() { return }` statement in an enclosing function body.
+func guarded(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			if stack[i+1] == s.Body && condTestsOn(pass.TypesInfo, s.Cond) {
+				return true
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			body := analysis.FuncBody(s)
+			if body == nil || i+2 >= len(stack) || stack[i+1] != ast.Node(body) {
+				continue
+			}
+			for _, stmt := range body.List {
+				if stmt == stack[i+2] {
+					break
+				}
+				if isNegatedOnReturn(pass.TypesInfo, stmt) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condTestsOn reports whether the condition establishes obs.On(): the call
+// itself, or a && conjunction containing it.  (|| does not establish it.)
+func condTestsOn(info *types.Info, cond ast.Expr) bool {
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		return isOnCall(info, cond)
+	case *ast.BinaryExpr:
+		if cond.Op.String() == "&&" {
+			return condTestsOn(info, cond.X) || condTestsOn(info, cond.Y)
+		}
+	}
+	return false
+}
+
+// isNegatedOnReturn matches the early-return guard `if !obs.On() { return }`.
+func isNegatedOnReturn(info *types.Info, stmt ast.Stmt) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	not, ok := ast.Unparen(ifs.Cond).(*ast.UnaryExpr)
+	if !ok || not.Op.String() != "!" {
+		return false
+	}
+	call, ok := ast.Unparen(not.X).(*ast.CallExpr)
+	if !ok || !isOnCall(info, call) {
+		return false
+	}
+	_, ok = ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return ok
+}

@@ -1,0 +1,12 @@
+package obsguard_test
+
+import (
+	"testing"
+
+	"ringsym/internal/lint/analysis/analysistest"
+	"ringsym/internal/lint/obsguard"
+)
+
+func TestObsguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), obsguard.Analyzer, "obsfix")
+}

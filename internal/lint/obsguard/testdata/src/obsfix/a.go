@@ -1,0 +1,87 @@
+// Package obsfix stages guarded and unguarded telemetry emissions for the
+// obsguard analyzer.
+package obsfix
+
+import "ringsym/internal/obs"
+
+const eventType obs.Type = "fixture.event"
+
+// Guarded emissions in every accepted form: none of these may be flagged.
+
+func directGuard(done int) {
+	if obs.On() {
+		obs.Emit(obs.Event{Type: eventType, Done: done})
+	}
+}
+
+func conjunctionGuard(done int) {
+	if obs.On() && done%100 == 0 {
+		obs.Emit(obs.Event{Type: eventType, Done: done})
+	}
+	if done%100 == 0 && obs.On() {
+		obs.Emit(obs.Event{Type: eventType, Done: done})
+	}
+}
+
+func earlyReturnGuard(done int) {
+	if !obs.On() {
+		return
+	}
+	ev := obs.Event{Type: eventType, Done: done}
+	obs.Emit(ev)
+}
+
+func busActiveGuard() {
+	if obs.Default.Active() {
+		obs.Default.Publish(obs.Event{Type: eventType})
+	}
+}
+
+func guardedClosure() {
+	if obs.On() {
+		func() {
+			obs.Emit(obs.Event{Type: eventType})
+		}()
+	}
+}
+
+// Violations: emission or construction the off switch does not dominate.
+
+func unguardedEmit() {
+	obs.Emit(obs.Event{Type: eventType}) // want `obs emit is not dominated` `obs\.Event constructed outside`
+}
+
+func constructionBeforeGuard(done int) {
+	ev := obs.Event{Type: eventType, Done: done} // want `obs\.Event constructed outside`
+	if obs.On() {
+		obs.Emit(ev)
+	}
+}
+
+func disjunctionIsNoGuard(force bool) {
+	if obs.On() || force {
+		obs.Emit(obs.Event{Type: eventType}) // want `obs emit is not dominated` `obs\.Event constructed outside`
+	}
+}
+
+func negatedGuardElse() {
+	if !obs.On() {
+		return
+	}
+	obs.Default.Publish(obs.Event{Type: eventType})
+}
+
+func guardInWrongBranch() {
+	if obs.On() {
+		return
+	}
+	obs.Emit(obs.Event{Type: eventType}) // want `obs emit is not dominated` `obs\.Event constructed outside`
+}
+
+// The escape hatch: a justified allow suppresses the diagnostics.
+
+func allowedHelper(done int) {
+	//ringvet:allow obsguard every caller guards; keeping the event build out of line
+	ev := obs.Event{Type: eventType, Done: done}
+	obs.Emit(ev) //ringvet:allow obsguard every caller guards; see above
+}

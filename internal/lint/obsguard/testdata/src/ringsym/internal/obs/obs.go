@@ -1,0 +1,33 @@
+// Package obs is a miniature of the real telemetry spine, just enough API
+// surface for the obsguard fixtures to typecheck against.
+package obs
+
+type Type string
+
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+)
+
+type Event struct {
+	Type  Type
+	Level Level
+	Done  int
+	Err   string
+}
+
+var subscribed bool
+
+func On() bool { return subscribed }
+
+func Emit(Event) {}
+
+type Bus struct{}
+
+func (*Bus) Active() bool { return subscribed }
+
+func (*Bus) Publish(Event) {}
+
+var Default = &Bus{}

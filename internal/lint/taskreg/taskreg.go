@@ -1,0 +1,156 @@
+// Package taskreg enforces the task-registry conventions that
+// internal/task documents but the compiler cannot: registration happens at
+// init, names are stable lowercase keys, and specs carry the verification
+// and cache-translation obligations.
+package taskreg
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"ringsym/internal/lint/analysis"
+)
+
+// taskPath is the import path of the registry package (fixtures provide a
+// fake under the same path).
+const taskPath = "ringsym/internal/task"
+
+// Analyzer flags task.Register misuse.
+var Analyzer = &analysis.Analyzer{
+	Name: "taskreg",
+	Doc: `task.Register is called from init, with lowercase names and full Specs
+
+The registry contract (internal/task doc comment) is that every importer of
+the package sees the same catalogue: registration therefore happens in init
+functions only, never lazily from request paths where it would race with
+Lookup and make the visible task set depend on call order.  The analyzer
+flags:
+
+  - task.Register calls outside a package-level func init
+  - Name() methods of registered spec types returning a literal that is
+    empty or not all-lowercase (names are case-normalised cache-key
+    components; Register panics at runtime, this catches it at vet time)
+  - registered types that do not declare Verify or MapOutcome — the two
+    obligations (outcome re-verification against ground truth, and orbit
+    frame translation for the memo cache) that make a task safe to sweep
+    and to serve cached`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkedNames := map[types.Object]bool{}
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Name() != "Register" || fn.Pkg() == nil || fn.Pkg().Path() != taskPath {
+			return true
+		}
+		if !inInit(stack) {
+			pass.Reportf(call.Pos(),
+				"task.Register outside init: the registry must be complete before any Lookup, so registration happens at package init only")
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		t := concreteType(pass.TypesInfo.Types[call.Args[0]].Type)
+		if t == nil {
+			return true // interface-typed value: nothing to inspect statically
+		}
+		for _, method := range []string{"Verify", "MapOutcome"} {
+			if obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, pass.Pkg, method); obj == nil {
+				pass.Reportf(call.Args[0].Pos(),
+					"registered spec %s does not declare %s: every task owns its verification and cache frame translation", t.Obj().Name(), method)
+			}
+		}
+		if !checkedNames[t.Obj()] {
+			checkedNames[t.Obj()] = true
+			checkNameLiteral(pass, t)
+		}
+		return true
+	})
+	return nil
+}
+
+// inInit reports whether the innermost enclosing declared function is a
+// package-level func init.
+func inInit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Recv == nil && fd.Name.Name == "init"
+		}
+	}
+	return false
+}
+
+// concreteType unwraps pointers and returns the named type of a registered
+// value, or nil for interfaces and unnamed types.
+func concreteType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || types.IsInterface(named) {
+		return nil
+	}
+	return named
+}
+
+// checkNameLiteral validates the registry key when the spec's Name method,
+// declared in the analyzed package, is a single `return "literal"`.
+func checkNameLiteral(pass *analysis.Pass, t *types.Named) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Name" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if receiverType(pass.TypesInfo, fd) != t.Obj() {
+				continue
+			}
+			if len(fd.Body.List) != 1 {
+				return
+			}
+			ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return
+			}
+			lit, ok := ast.Unparen(ret.Results[0]).(*ast.BasicLit)
+			if !ok {
+				return
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return
+			}
+			if name == "" || name != strings.ToLower(name) {
+				pass.Reportf(lit.Pos(),
+					"task name %s must be non-empty lowercase: names are case-normalised registry and cache keys", lit.Value)
+			}
+			return
+		}
+	}
+}
+
+// receiverType resolves the type object a method's receiver is declared on.
+func receiverType(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	expr := fd.Recv.List[0].Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}

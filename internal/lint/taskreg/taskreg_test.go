@@ -1,0 +1,12 @@
+package taskreg_test
+
+import (
+	"testing"
+
+	"ringsym/internal/lint/analysis/analysistest"
+	"ringsym/internal/lint/taskreg"
+)
+
+func TestTaskreg(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), taskreg.Analyzer, "taskregfix")
+}

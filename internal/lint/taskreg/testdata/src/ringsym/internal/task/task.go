@@ -1,0 +1,15 @@
+// Package task is a miniature of the real registry, just enough API for the
+// taskreg fixtures to typecheck.  Its Spec interface is deliberately looser
+// than the real one (Name only) so the analyzer — not the compiler — is what
+// catches a spec missing Verify or MapOutcome.
+package task
+
+type Outcome struct{ Rounds int }
+
+type Map struct{ Phase int }
+
+type Spec interface {
+	Name() string
+}
+
+func Register(spec Spec) {}

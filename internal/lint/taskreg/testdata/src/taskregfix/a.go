@@ -1,0 +1,50 @@
+// Package taskregfix stages registry-convention violations for the taskreg
+// analyzer.
+package taskregfix
+
+import "ringsym/internal/task"
+
+// goodSpec follows every convention.
+type goodSpec struct{}
+
+func (goodSpec) Name() string                                         { return "good" }
+func (goodSpec) Verify(out task.Outcome) error                        { return nil }
+func (goodSpec) MapOutcome(out task.Outcome, m task.Map) task.Outcome { return out }
+
+// upperSpec's name would fragment the case-normalised cache key space.
+type upperSpec struct{}
+
+func (upperSpec) Name() string                                         { return "Upper" } // want `task name "Upper" must be non-empty lowercase`
+func (upperSpec) Verify(out task.Outcome) error                        { return nil }
+func (upperSpec) MapOutcome(out task.Outcome, m task.Map) task.Outcome { return out }
+
+// emptySpec would panic Register at runtime; the analyzer catches it first.
+type emptySpec struct{}
+
+func (emptySpec) Name() string                                         { return "" } // want `task name "" must be non-empty lowercase`
+func (emptySpec) Verify(out task.Outcome) error                        { return nil }
+func (emptySpec) MapOutcome(out task.Outcome, m task.Map) task.Outcome { return out }
+
+// bareSpec skips the verification and cache-translation obligations.
+type bareSpec struct{}
+
+func (bareSpec) Name() string { return "bare" }
+
+func init() {
+	task.Register(goodSpec{})
+	task.Register(upperSpec{})
+	task.Register(emptySpec{})
+	task.Register(bareSpec{}) // want `registered spec bareSpec does not declare Verify` `registered spec bareSpec does not declare MapOutcome`
+}
+
+// Lazy registration races Lookup and makes the catalogue call-order
+// dependent.
+func registerLate() {
+	task.Register(goodSpec{}) // want `task\.Register outside init`
+}
+
+// The escape hatch: a test-support registrar with a justification.
+func registerForBench() {
+	//ringvet:allow taskreg bench harness registers throwaway specs before any Lookup
+	task.Register(goodSpec{})
+}

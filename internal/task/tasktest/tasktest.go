@@ -174,6 +174,7 @@ func runVerified(t *testing.T, spec task.Spec, gen engine.Config, p task.Params,
 	if err != nil {
 		t.Fatalf("%s: %v", label, err)
 	}
+	//ringvet:allow ctxflow test-support conformance harness: runs under the test binary, nothing to cancel
 	out, err := spec.Run(context.Background(), nw, p)
 	if err != nil {
 		t.Fatalf("%s: %v", label, err)
