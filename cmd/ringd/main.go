@@ -9,6 +9,7 @@
 //	ringd                              # serve on :8080 with the cache on
 //	ringd -addr 127.0.0.1:9090 -cache off
 //	ringd -cache 100000 -workers 8     # cache bounded to ~100k outcomes
+//	ringd -join coord:9999             # register with a fleet coordinator
 //
 // Endpoints (see internal/serve):
 //
@@ -23,6 +24,16 @@
 // under /debug/pprof/.  `ringfarm top -url http://localhost:8080` renders a
 // live view from the event stream.
 //
+// With -join, the daemon additionally registers itself with a ringfleet
+// coordinator (see internal/fleet) and heartbeats for as long as it runs;
+// -advertise overrides the base URL the coordinator dials back (it defaults
+// to http://127.0.0.1:<port> of -addr, which is only right on one machine).
+//
+// The daemon sheds load instead of queueing unboundedly: once -maxpending
+// scenarios are queued or running, /v1/run and /v1/campaign answer 429 with
+// a Retry-After header (cache-hit probes are still served).  Fleet
+// coordinators honour the 429 with jittered backoff.
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener stops,
 // in-flight requests get a drain window, and the worker pool exits cleanly.
 package main
@@ -33,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +52,8 @@ import (
 	"time"
 
 	"ringsym/internal/campaign"
+	"ringsym/internal/fleet"
+	"ringsym/internal/fleet/worker"
 	"ringsym/internal/serve"
 )
 
@@ -55,6 +69,9 @@ func main() {
 	maxN := flag.Int("maxn", 0, "largest network size a request may ask for (default 4096)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
+	maxPending := flag.Int("maxpending", 1024, "admission control: queued+running scenarios above which /v1/run and /v1/campaign answer 429 (0 disables)")
+	join := flag.String("join", "", "fleet coordinator base URL to register with (host:port or http://host:port)")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials this daemon at (default http://127.0.0.1:<port of -addr>)")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -72,18 +89,41 @@ func main() {
 	if *drain < 0 {
 		usageError(fmt.Errorf("invalid -drain %v (must be >= 0)", *drain))
 	}
+	if *maxPending < 0 {
+		usageError(fmt.Errorf("invalid -maxpending %d (must be >= 0; 0 disables admission control)", *maxPending))
+	}
 	cache, err := campaign.ParseCacheFlag(*cacheFlag)
 	if err != nil {
 		usageError(err)
 	}
+	var coordinator, selfURL string
+	if *join != "" {
+		coords, err := fleet.ParseWorkers(*join)
+		if err != nil || len(coords) != 1 {
+			usageError(fmt.Errorf("invalid -join %q: %v", *join, err))
+		}
+		coordinator = coords[0]
+		selfURL = *advertise
+		if selfURL == "" {
+			selfURL = defaultAdvertise(*addr)
+		}
+		selves, err := fleet.ParseWorkers(selfURL)
+		if err != nil || len(selves) != 1 {
+			usageError(fmt.Errorf("invalid -advertise %q: %v", selfURL, err))
+		}
+		selfURL = selves[0]
+	} else if *advertise != "" {
+		usageError(fmt.Errorf("-advertise is only meaningful with -join"))
+	}
 
 	pool := serve.New(serve.Options{
-		Workers:   *workers,
-		Cache:     cache,
-		Circ:      *circ,
-		MaxRounds: *maxRounds,
-		MaxN:      *maxN,
-		Pprof:     *pprofFlag,
+		Workers:    *workers,
+		Cache:      cache,
+		Circ:       *circ,
+		MaxRounds:  *maxRounds,
+		MaxN:       *maxN,
+		Pprof:      *pprofFlag,
+		MaxPending: *maxPending,
 	})
 	// No WriteTimeout here: it would cap the total duration of a streaming
 	// /v1/campaign response; internal/serve bounds each record write with
@@ -105,6 +145,10 @@ func main() {
 		cacheState = "on"
 	}
 	log.Printf("serving on %s (cache %s)", *addr, cacheState)
+	if coordinator != "" {
+		log.Printf("joining fleet coordinator %s as %s", coordinator, selfURL)
+		go worker.Start(ctx, worker.Options{Coordinator: coordinator, Advertise: selfURL, Logf: log.Printf})
+	}
 
 	select {
 	case <-ctx.Done():
@@ -137,4 +181,19 @@ func usageError(err error) {
 	fmt.Fprintf(os.Stderr, "ringd: %v\n\n", err)
 	flag.Usage()
 	os.Exit(2)
+}
+
+// defaultAdvertise derives the base URL a coordinator can dial back from the
+// listen address: the listen port on 127.0.0.1 when -addr binds all
+// interfaces (right on one machine, which is what the default is for; a
+// multi-host fleet must pass -advertise explicitly).
+func defaultAdvertise(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

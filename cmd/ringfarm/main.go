@@ -17,6 +17,7 @@
 //	ringfarm -sizes 32 -seeds 1:50 -top          # live top view while running
 //	ringfarm -sizes 16 -events sweep.events.ndjson
 //	ringfarm top -url http://localhost:8080      # watch a running ringd
+//	ringfarm -workers host1:8080,host2:8080 -spec sweep.json  # fleet mode
 //
 // The live progress line reports throughput, engine rounds/sec and (for
 // cached sweeps) the symmetry dedup ratio; -quiet suppresses it, -top
@@ -37,6 +38,15 @@
 //	{"models": ["basic", "lazy"], "sizes": [16, 32], "seeds": [1, 2, 3],
 //	 "parities": ["odd", "even"], "chirality": ["mixed", "common"],
 //	 "common_sense": [false, true], "tasks": ["coordinate", "discover"]}
+//
+// Fleet mode: when -workers is a comma-separated roster of ringd base URLs
+// instead of a pool size, the sweep is coordinated across those daemons by
+// internal/fleet — the index space is split into lease ranges, dead or
+// straggling workers are re-leased (visible as fleet.* events in -events and
+// as per-worker rows in -top), and the merged artefacts are byte-identical
+// to a local run of the same spec.  -lease overrides the lease size and
+// -fleet-listen additionally serves the coordinator's join/heartbeat control
+// plane for ringd -join workers.
 //
 // Specs are decoded strictly: a typo'd axis name is an error, not a silent
 // fallback to the defaults.  The tasks axis accepts any task registered in
@@ -60,6 +70,7 @@ import (
 
 	"ringsym/internal/campaign"
 	"ringsym/internal/engine"
+	"ringsym/internal/fleet"
 	"ringsym/internal/task"
 )
 
@@ -88,7 +99,9 @@ func main() {
 	reflect := flag.Bool("reflect", false, "also sweep the mirrored variant of every scenario")
 	idFactor := flag.Int("idfactor", 0, "identifier bound N as a multiple of n (default 4)")
 	shard := flag.String("shard", "", "run only shard i/m of the campaign (e.g. 0/4)")
-	workers := flag.Int("workers", 0, "worker-pool size (default GOMAXPROCS)")
+	workersFlag := flag.String("workers", "", "local worker-pool size (default GOMAXPROCS), or a comma-separated ringd roster host1:8080,host2:8080 to run the sweep on a fleet")
+	lease := flag.Int("lease", 0, "fleet mode: scenario indices per lease (default: auto, total/(4*workers))")
+	fleetListen := flag.String("fleet-listen", "", "fleet mode: serve the coordinator control plane (worker join/heartbeat) on this address")
 	cacheFlag := flag.String("cache", "off", "memoise outcomes under their canonical symmetry key: off, on, or a capacity in entries")
 	out := flag.String("out", "ringfarm-out", "output directory for records.jsonl, summary.csv, summary.md")
 	dryrun := flag.Bool("dryrun", false, "print the scenario list and exit without running")
@@ -104,8 +117,27 @@ func main() {
 	if err != nil {
 		usageError(err)
 	}
-	if *workers < 0 {
-		usageError(fmt.Errorf("invalid -workers %d (must be >= 0; 0 means GOMAXPROCS)", *workers))
+	// -workers is overloaded: a bare integer sizes the local pool, anything
+	// else is a fleet roster (validated by fleet.ParseWorkers up front).
+	workers, roster := 0, []string(nil)
+	if *workersFlag != "" {
+		if n, err := strconv.Atoi(*workersFlag); err == nil {
+			workers = n
+		} else if roster, err = fleet.ParseWorkers(*workersFlag); err != nil {
+			usageError(err)
+		}
+	}
+	if workers < 0 {
+		usageError(fmt.Errorf("invalid -workers %d (must be >= 0; 0 means GOMAXPROCS)", workers))
+	}
+	if *lease < 0 {
+		usageError(fmt.Errorf("invalid -lease %d (must be >= 0; 0 means automatic sizing)", *lease))
+	}
+	// Fleet mode: a worker roster, a join listener for dynamic workers
+	// (ringd -join), or both.
+	fleetMode := roster != nil || *fleetListen != ""
+	if !fleetMode && *lease > 0 {
+		usageError(fmt.Errorf("-lease is only meaningful in fleet mode (-workers roster or -fleet-listen)"))
 	}
 	if *idFactor < 0 {
 		usageError(fmt.Errorf("invalid -idfactor %d (must be >= 0; 0 means the default of 4)", *idFactor))
@@ -123,6 +155,27 @@ func main() {
 		usageError(err)
 	}
 	total := len(scenarios)
+	if fleetMode {
+		// Fleet mode: the matrix is dispatched to remote ringd workers in
+		// lease ranges; local-execution flags make no sense here.
+		if *shard != "" {
+			usageError(fmt.Errorf("-shard cannot combine with a fleet roster: the coordinator leases the whole index space itself"))
+		}
+		if *cacheFlag != "off" {
+			usageError(fmt.Errorf("-cache is decided by each ringd worker (its own -cache flag), not by the fleet coordinator"))
+		}
+		if *dryrun {
+			for _, sc := range scenarios {
+				fmt.Printf("%6d  %s\n", sc.Index, sc.Key())
+			}
+			fmt.Printf("%d scenarios across %d workers\n", total, len(roster))
+			return
+		}
+		if err := runFleet(matrix, total, roster, *lease, *fleetListen, *out, *quiet, *top, *events); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	scenarios, err = campaign.Shard(scenarios, i, m)
 	if err != nil {
 		usageError(err)
@@ -137,7 +190,7 @@ func main() {
 		fmt.Printf("%d scenarios (shard %d/%d of %d)\n", len(scenarios), i, m, total)
 		return
 	}
-	if err := runCampaign(scenarios, i, m, total, *workers, *out, *quiet, *top, *events, cache); err != nil {
+	if err := runCampaign(scenarios, i, m, total, workers, *out, *quiet, *top, *events, cache); err != nil {
 		log.Fatal(err)
 	}
 }

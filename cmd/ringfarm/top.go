@@ -47,7 +47,23 @@ type topView struct {
 	// percentiles are wall-time percentiles.
 	finishWin *obs.Window
 
+	// Per-worker rows from fleet.* events (fleet sweeps only; empty and
+	// unrendered for local ones).  Lease ranges are [Lo, Hi), and a steal
+	// shrinks the victim's Hi before its lease.done is emitted, so summing
+	// Hi-Lo over done leases counts each worker's records exactly.
+	workers     map[string]*workerRow
+	quarantined int
+
 	firstNanos, lastNanos int64
+}
+
+// workerRow is one fleet worker's line in the live view.
+type workerRow struct {
+	up      bool
+	records int
+	leases  int
+	fails   int
+	steals  int
 }
 
 func newTopView() *topView {
@@ -55,7 +71,18 @@ func newTopView() *topView {
 		perTask:   make(map[string]int),
 		roundsWin: obs.NewWindow(topWindowSeconds),
 		finishWin: obs.NewWindow(topWindowSeconds),
+		workers:   make(map[string]*workerRow),
 	}
+}
+
+// worker returns (creating if needed) the row for a fleet worker.
+func (v *topView) worker(addr string) *workerRow {
+	w, ok := v.workers[addr]
+	if !ok {
+		w = &workerRow{}
+		v.workers[addr] = w
+	}
+	return w
 }
 
 // observe folds one event into the view.
@@ -89,6 +116,20 @@ func (v *topView) observe(ev obs.Event) {
 			v.cacheDedups++
 		}
 		v.finishWin.Add(ev.Nanos, int(ev.WallMicros))
+	case obs.FleetWorkerUp:
+		v.worker(ev.Worker).up = true
+	case obs.FleetWorkerDown:
+		v.worker(ev.Worker).up = false
+	case obs.FleetLeaseDone:
+		w := v.worker(ev.Worker)
+		w.leases++
+		w.records += ev.Hi - ev.Lo
+	case obs.FleetLeaseFail:
+		v.worker(ev.Worker).fails++
+	case obs.FleetLeaseSteal:
+		v.worker(ev.Worker).steals++
+	case obs.FleetLeaseQuarantine:
+		v.quarantined += ev.Hi - ev.Lo
 	case obs.EngineLeap:
 		// Samples carry cumulative totals; the delta between consecutive
 		// samples is the work done since, windowed for the live rate.
@@ -139,6 +180,27 @@ func (v *topView) render(w io.Writer, source string) {
 			humanCount(float64(rw.Sum)/topWindowSeconds),
 			humanCount(float64(v.rounds)), humanCount(float64(v.crossings)),
 			float64(v.rounds)/float64(v.crossings))
+	}
+
+	if len(v.workers) > 0 {
+		addrs := make([]string, 0, len(v.workers))
+		for a := range v.workers {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		b.WriteString("\n  workers\n")
+		for _, a := range addrs {
+			wr := v.workers[a]
+			state := "up"
+			if !wr.up {
+				state = "DOWN"
+			}
+			fmt.Fprintf(&b, "    %-28s %-4s  %6d records  %3d leases  %2d fails  %2d stolen-from\n",
+				a, state, wr.records, wr.leases, wr.fails, wr.steals)
+		}
+		if v.quarantined > 0 {
+			fmt.Fprintf(&b, "    QUARANTINED: %d scenario indices abandoned\n", v.quarantined)
+		}
 	}
 
 	if len(v.perTask) > 0 {
@@ -329,6 +391,14 @@ func startEventLog(ctx context.Context, path string) (stop func() error, err err
 				return
 			}
 			if err := enc.Encode(ev); err != nil {
+				done <- err
+				return
+			}
+			// Flush per event: the log must be tail-able while the sweep
+			// runs (CI watches it to time a mid-sweep worker kill), and the
+			// bounded subscription already decouples us from the emitters,
+			// so buffering here buys nothing but staleness.
+			if err := bw.Flush(); err != nil {
 				done <- err
 				return
 			}

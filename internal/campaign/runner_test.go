@@ -3,6 +3,7 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -224,6 +225,79 @@ func TestShardUnionReproducesFullExport(t *testing.T) {
 	}
 	if bytes.Contains(fullJSONL, []byte("Wall")) {
 		t.Fatal("wall time leaked into the deterministic export")
+	}
+}
+
+// TestArbitraryPartitionReproducesFullExport generalizes the shard-union
+// property from contiguous i/m shards to ANY partition of the index space
+// into contiguous ranges: each range run independently (in an arbitrary
+// execution order), then merged back in index order, reproduces the
+// unsharded JSONL byte-for-byte.  This is the invariant the fleet lease
+// merger (internal/fleet) rests on — lease boundaries move at runtime
+// (re-leasing, work-stealing splits), so byte-identity must hold for every
+// cut, not just the even ones.
+func TestArbitraryPartitionReproducesFullExport(t *testing.T) {
+	scs, err := Matrix{
+		Tasks:  []Task{TaskCoordinate, TaskDiscover},
+		Models: []string{"perceptive", "lazy"},
+		Sizes:  []int{8},
+		Seeds:  []int64{1, 2},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunAll(context.Background(), scs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJSONL := mustJSONL(t, scs, full)
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		// Random cut points, including degenerate partitions (single range,
+		// all-singleton) on the first trials.
+		var cuts []int
+		switch trial {
+		case 0:
+			cuts = []int{len(scs)}
+		case 1:
+			for i := 1; i <= len(scs); i++ {
+				cuts = append(cuts, i)
+			}
+		default:
+			for i := 1; i < len(scs); i++ {
+				if rng.Intn(3) == 0 {
+					cuts = append(cuts, i)
+				}
+			}
+			cuts = append(cuts, len(scs))
+		}
+		type rng2 struct{ lo, hi int }
+		var ranges []rng2
+		lo := 0
+		for _, hi := range cuts {
+			ranges = append(ranges, rng2{lo, hi})
+			lo = hi
+		}
+
+		// Execute the ranges in a shuffled order — a partition's pieces are
+		// independent, so execution order must not matter.
+		parts := make([][]byte, len(ranges))
+		for _, ri := range rng.Perm(len(ranges)) {
+			r := ranges[ri]
+			recs, err := RunAll(context.Background(), scs[r.lo:r.hi], Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts[ri] = mustJSONL(t, scs[r.lo:r.hi], recs)
+		}
+		var merged bytes.Buffer
+		for _, p := range parts {
+			merged.Write(p)
+		}
+		if !bytes.Equal(fullJSONL, merged.Bytes()) {
+			t.Fatalf("trial %d: partition into %d ranges does not reproduce the full export", trial, len(ranges))
+		}
 	}
 }
 

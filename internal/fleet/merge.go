@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"io"
+
+	"ringsym/internal/campaign"
+	"ringsym/internal/obs"
+)
+
+// merger reassembles per-lease record streams into scenario-index order.
+//
+// Byte-identity is achieved by construction, not by re-serialisation: the
+// merger keeps the raw JSONL line each worker streamed (workers run the same
+// exporter a local sweep does, so their lines are already the canonical
+// encoding) and writes those bytes verbatim once the index-order watermark
+// reaches them.  Records are parsed only for the OnRecord callback and the
+// scenario.finish events — never re-marshalled onto the output path.
+//
+// Out-of-order arrival is the normal case (leases complete independently),
+// so lines park in a pending map until the watermark catches up — the same
+// shape as campaign.OrderedWriter, one level up.  Duplicate indices (a steal
+// racing a victim's final records) are dropped on arrival: first write wins,
+// which is safe because records are pure functions of their scenario.
+// Quarantined ranges are marked absent so the watermark can pass over the
+// hole and the sweep can finish around it.
+type merger struct {
+	total   int
+	next    int // watermark: first index not yet written or skipped
+	written int
+	out     io.Writer
+	onRec   func(campaign.Record)
+
+	lines  map[int][]byte
+	recs   map[int]campaign.Record
+	absent map[int]bool
+
+	err error // first write error; poisons the rest of the merge
+}
+
+func newMerger(total int, out io.Writer, onRec func(campaign.Record)) *merger {
+	return &merger{
+		total:  total,
+		out:    out,
+		onRec:  onRec,
+		lines:  make(map[int][]byte),
+		recs:   make(map[int]campaign.Record),
+		absent: make(map[int]bool),
+	}
+}
+
+// add accepts one record line from a worker stream.  It reports whether the
+// index was fresh (false for duplicates and out-of-range indices, which are
+// dropped).  line must be the worker's raw JSONL bytes without the trailing
+// newline; the merger owns it after the call.  Callers hold the
+// coordinator's mutex.
+func (mg *merger) add(index int, line []byte, rec campaign.Record) bool {
+	if index < mg.next || index >= mg.total {
+		return false
+	}
+	if _, dup := mg.lines[index]; dup || mg.absent[index] {
+		return false
+	}
+	mg.lines[index] = line
+	mg.recs[index] = rec
+	mg.drain()
+	return true
+}
+
+// markAbsent records that [lo, hi) will never arrive (quarantined), letting
+// the watermark advance past the hole.  Callers hold the coordinator's
+// mutex.
+func (mg *merger) markAbsent(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if i >= mg.next && !mg.absent[i] {
+			mg.absent[i] = true
+			delete(mg.lines, i)
+			delete(mg.recs, i)
+		}
+	}
+	mg.drain()
+}
+
+// drain advances the watermark, writing parked lines in index order.
+func (mg *merger) drain() {
+	for mg.next < mg.total {
+		if mg.absent[mg.next] {
+			delete(mg.absent, mg.next)
+			mg.next++
+			continue
+		}
+		line, ok := mg.lines[mg.next]
+		if !ok {
+			return
+		}
+		delete(mg.lines, mg.next)
+		rec := mg.recs[mg.next]
+		delete(mg.recs, mg.next)
+		if mg.out != nil && mg.err == nil {
+			if _, err := mg.out.Write(append(line, '\n')); err != nil {
+				mg.err = err
+			}
+		}
+		mg.written++
+		mg.next++
+		mg.emit(rec)
+		if mg.onRec != nil {
+			mg.onRec(rec)
+		}
+	}
+}
+
+// emit mirrors the campaign runner's per-scenario events for merged records,
+// so downstream consumers (ringfarm top, NDJSON sinks) see a fleet sweep in
+// the same vocabulary as a local one.  WallMicros is zero: wall time was
+// spent on the worker and deliberately does not travel in records.
+func (mg *merger) emit(rec campaign.Record) {
+	if !obs.On() {
+		return
+	}
+	ev := obs.Event{
+		Type: obs.ScenarioFinish, Level: obs.LevelInfo,
+		Task: string(rec.Task), Model: rec.Model, N: rec.N, Seed: rec.Seed, Index: rec.Index,
+		Status: string(rec.Status), Cache: rec.Cache,
+		Rounds: int64(rec.Rounds),
+	}
+	if rec.Status == campaign.StatusFailed {
+		ev.Type, ev.Level, ev.Err = obs.ScenarioError, obs.LevelError, rec.Error
+	}
+	obs.Emit(ev)
+	if mg.written%checkpointEvery == 0 {
+		obs.Emit(obs.Event{Type: obs.CampaignCheckpoint, Level: obs.LevelInfo, Done: mg.written, Total: mg.total})
+	}
+}
+
+// checkpointEvery matches the campaign runner's checkpoint cadence.
+const checkpointEvery = 1000
+
+// done reports whether every index was written or skipped.
+func (mg *merger) done() bool { return mg.next >= mg.total }
+
+// Written returns the number of record lines merged into the output.
+func (mg *merger) Written() int { return mg.written }

@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// ParseWorkers validates and normalises a comma-separated worker roster
+// ("host1:8080,host2:8080") into base URLs.  The discipline matches the
+// campaign ParseShard flag parser: every malformed input is rejected up
+// front with an error naming the offending entry and the accepted form,
+// because a roster typo that surfaces only as a mid-sweep connection error
+// is a debugging session, not a usage message.
+//
+// Each entry may be a bare host:port or a full http:// / https:// URL; a
+// schemeless entry gets http://.  Entries must not carry a path, query or
+// fragment (the coordinator owns the endpoint layout), must resolve to a
+// non-empty host, and must be unique after normalisation (trailing slashes
+// stripped).  Empty entries — including the empty list — are errors.
+func ParseWorkers(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	seen := make(map[string]int, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf(`fleet: empty worker address at position %d in %q (want "host:port[,host:port...]")`, i+1, s)
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		u, err := url.Parse(p)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bad worker address %q: %v", parts[i], err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return nil, fmt.Errorf("fleet: bad worker address %q: scheme %q (want http or https)", parts[i], u.Scheme)
+		}
+		if u.Host == "" {
+			return nil, fmt.Errorf("fleet: bad worker address %q: no host", parts[i])
+		}
+		if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+			return nil, fmt.Errorf("fleet: bad worker address %q: must be a bare base URL without path or query", parts[i])
+		}
+		addr := u.Scheme + "://" + u.Host
+		if at, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("fleet: duplicate worker address %q (positions %d and %d)", addr, at, i+1)
+		}
+		seen[addr] = i + 1
+		out = append(out, addr)
+	}
+	return out, nil
+}

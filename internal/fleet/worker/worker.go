@@ -1,0 +1,102 @@
+// Package worker is the fleet membership agent a ringd daemon runs when
+// started with -join: it registers the daemon's advertised base URL with the
+// coordinator (POST /v1/fleet/join) and keeps the registration alive with
+// periodic heartbeats.  The agent is deliberately thin — all campaign work
+// still arrives through the daemon's ordinary /v1/campaign endpoint; joining
+// only makes the worker visible to the coordinator's lease manager.
+//
+// Registration is crash-tolerant in both directions: the agent retries a
+// coordinator that is not up yet (workers and coordinator can start in any
+// order), and the coordinator treats a heartbeat from an unknown address as
+// a join (a restarted coordinator re-learns its fleet within one heartbeat
+// interval).
+package worker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Options configures the membership agent.
+type Options struct {
+	// Coordinator is the coordinator's base URL (as ParseWorkers accepts).
+	Coordinator string
+	// Advertise is this worker's base URL as the coordinator should dial it.
+	Advertise string
+	// Interval is the heartbeat cadence; defaults to 5 seconds (a third of
+	// the coordinator's default expiry window).
+	Interval time.Duration
+	// Client is the HTTP client; defaults to one with a 5-second timeout
+	// (join and heartbeat are tiny control-plane calls).
+	Client *http.Client
+	// Logf, when non-nil, receives join/retry diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Start runs the join/heartbeat loop until ctx ends.  It blocks; run it in
+// its own goroutine.  Failures are retried at the heartbeat cadence — a
+// worker never gives up on its coordinator, because lease traffic is
+// unaffected either way.
+func Start(ctx context.Context, opts Options) {
+	if opts.Interval <= 0 {
+		opts.Interval = 5 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	body, _ := json.Marshal(map[string]string{"addr": opts.Advertise})
+
+	post := func(path string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.Coordinator+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+		return nil
+	}
+
+	joined := false
+	t := time.NewTicker(opts.Interval)
+	defer t.Stop()
+	for {
+		path := "/v1/fleet/heartbeat"
+		if !joined {
+			path = "/v1/fleet/join"
+		}
+		if err := post(path); err != nil {
+			if joined {
+				logf("fleet: heartbeat to %s failed: %v", opts.Coordinator, err)
+			} else {
+				logf("fleet: join %s failed (will retry): %v", opts.Coordinator, err)
+			}
+			joined = false
+		} else if !joined {
+			joined = true
+			logf("fleet: joined coordinator %s as %s", opts.Coordinator, opts.Advertise)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -22,6 +22,10 @@ var scopeSegments = map[string]bool{
 	"task":     true,
 	"eval":     true,
 	"ring":     true,
+	// fleet merges and re-orders worker streams into the same byte-stable
+	// artefacts the campaign runner exports, so its merge/expansion paths
+	// are held to the same clock and iteration-order discipline.
+	"fleet": true,
 }
 
 // Analyzer flags nondeterminism sources in artefact-producing packages.

@@ -1,0 +1,62 @@
+// Package fleet is a fixture named after the distributed-coordination
+// package so it lands in the determinism analyzer's scope: the lease merger
+// re-serialises worker streams into byte-stable artefacts, so its paths obey
+// the same clock and iteration-order rules as the campaign runner.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func leaseDeadline() time.Time {
+	return time.Now() // want `time\.Now in artefact-producing package`
+}
+
+func staleFor(last time.Time) time.Duration {
+	return time.Since(last) // want `time\.Since in artefact-producing package`
+}
+
+// Backoff jitter comes from a seeded private source, never the global one.
+
+func jitter(base int) int {
+	r := rand.New(rand.NewSource(1)) // constructor: fine
+	return base/2 + r.Intn(base)     // method on a private source: fine
+}
+
+func sloppyJitter(base int) int {
+	return rand.Intn(base) // want `global math/rand Intn uses the shared process-wide source`
+}
+
+// A merger draining pending lines must not let map order reach the output.
+
+func drainUnsorted(w io.Writer, pending map[int][]byte) {
+	for idx, line := range pending {
+		fmt.Fprintf(w, "%d:%s\n", idx, line) // want `fmt\.Fprintf inside a map range`
+	}
+}
+
+func drainSorted(w io.Writer, pending map[int][]byte) {
+	idxs := make([]int, 0, len(pending))
+	for i := range pending {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		fmt.Fprintf(w, "%d:%s\n", i, pending[i])
+	}
+}
+
+func watermarkDrainIsFine(w io.Writer, pending map[int][]byte, next, total int) {
+	// Keyed lookups in watermark order never observe iteration order.
+	for ; next < total; next++ {
+		line, ok := pending[next]
+		if !ok {
+			return
+		}
+		fmt.Fprintf(w, "%s\n", line)
+	}
+}

@@ -62,6 +62,17 @@ const (
 	// Serving-layer request accounting from ringd.
 	ServeRequest Type = "serve.request"
 	ServeReject  Type = "serve.reject"
+
+	// Fleet coordination, emitted by internal/fleet: worker liveness and the
+	// lease lifecycle of a distributed campaign.  Worker names the worker's
+	// base URL; Lo/Hi carry the lease's scenario-index range [Lo, Hi).
+	FleetWorkerUp        Type = "fleet.worker.up"
+	FleetWorkerDown      Type = "fleet.worker.down"      // Err holds the cause
+	FleetLeaseGrant      Type = "fleet.lease.grant"      // range handed to Worker
+	FleetLeaseDone       Type = "fleet.lease.done"       // range fully streamed back
+	FleetLeaseSteal      Type = "fleet.lease.steal"      // range split off Worker (the victim)
+	FleetLeaseFail       Type = "fleet.lease.fail"       // attempt failed; range will be re-leased
+	FleetLeaseQuarantine Type = "fleet.lease.quarantine" // range abandoned after repeated failures
 )
 
 // Level grades an event for client-side filtering.
@@ -156,6 +167,12 @@ type Event struct {
 
 	// Serving (serve.*).
 	Endpoint string `json:"endpoint,omitempty"`
+
+	// Fleet coordination (fleet.*): the worker's base URL and the lease's
+	// scenario-index range [Lo, Hi).
+	Worker string `json:"worker,omitempty"`
+	Lo     int    `json:"lo,omitempty"`
+	Hi     int    `json:"hi,omitempty"`
 
 	// Err is the failure cause on error-grade events.
 	Err string `json:"error,omitempty"`

@@ -16,7 +16,12 @@
 //
 //	POST /v1/run       one scenario in, one campaign.Record out (JSON)
 //	POST /v1/campaign  a campaign.Matrix spec in, records out as streamed
-//	                   JSONL in scenario-index order
+//	                   JSONL in scenario-index order; the optional ?lo= and
+//	                   ?hi= query parameters restrict the response to the
+//	                   scenario-index range [lo, hi) of the expanded matrix,
+//	                   so a fleet coordinator (internal/fleet) can lease
+//	                   contiguous ranges of one sweep to many daemons and
+//	                   concatenate the streams back byte-identically
 //	GET  /v1/tasks     the task registry: every runnable task with its
 //	                   description (JSON array, sorted by name)
 //	GET  /v1/events    the live structured-event stream (internal/obs) as
@@ -27,6 +32,13 @@
 //	GET  /metrics      throughput and cache counters (JSON)
 //	GET  /metrics/prometheus  the same counters plus every obs-registered
 //	                   metric, in Prometheus text exposition format
+//
+// With Options.MaxPending, the daemon sheds load instead of queueing
+// unboundedly: when the count of scenarios queued or running on the pool
+// reaches the cap, /v1/run and /v1/campaign answer 429 with a Retry-After
+// header (counted in /metrics as throttled) rather than parking another
+// handler on the pool.  Clients — the fleet dispatcher among them — are
+// expected to back off and retry.
 //
 // With Options.Pprof, the net/http/pprof handlers are additionally served
 // under /debug/pprof/.
@@ -44,6 +56,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -92,6 +105,14 @@ type Options struct {
 	// loses events (counted in the obs bus drop counter and the metrics
 	// snapshot) instead of slowing any producer down.
 	EventBuffer int
+	// MaxPending, when positive, is the admission-control cap on scenarios
+	// queued or running on the worker pool: a /v1/run or /v1/campaign
+	// request arriving while the count is at the cap is rejected with 429
+	// and a Retry-After header instead of parking its handler in the
+	// submission queue.  Cache-hit probes are exempt — they never occupy a
+	// worker.  0 disables admission control (the pre-fleet behaviour:
+	// handlers queue without bound).
+	MaxPending int
 }
 
 const (
@@ -116,9 +137,14 @@ type Server struct {
 	runRequests      atomic.Uint64
 	campaignRequests atomic.Uint64
 	badRequests      atomic.Uint64
+	throttled        atomic.Uint64
 	records          atomic.Uint64
 	failed           atomic.Uint64
 	cancelled        atomic.Uint64
+	// pending counts scenarios queued or running on the pool, including
+	// submissions currently parked in submit: the value admission control
+	// compares against Options.MaxPending.
+	pending atomic.Int64
 }
 
 // job is one scenario submitted to the pool.  The worker delivers the record
@@ -176,6 +202,7 @@ func (s *Server) worker() {
 			return
 		case j := <-s.jobs:
 			rec := campaign.RunScenarioContext(j.ctx, j.sc, s.campaignOptions())
+			s.pending.Add(-1)
 			s.records.Add(1)
 			if rec.Status == campaign.StatusFailed {
 				// A run aborted because its client went away is routine
@@ -209,16 +236,40 @@ func (s *Server) campaignOptions() campaign.Options {
 var errServerClosed = errors.New("serve: server is shutting down")
 
 // submit hands a scenario to the pool and returns immediately once a worker
-// accepted it; the record arrives on out.
+// accepted it; the record arrives on out.  The pending count covers the
+// whole wait: a submission parked here is exactly the queueing admission
+// control exists to bound.
 func (s *Server) submit(ctx context.Context, sc campaign.Scenario, out chan<- campaign.Record) error {
+	s.pending.Add(1)
 	select {
 	case s.jobs <- job{ctx: ctx, sc: sc, out: out}:
 		return nil
 	case <-ctx.Done():
+		s.pending.Add(-1)
 		return ctx.Err()
 	case <-s.quit:
+		s.pending.Add(-1)
 		return errServerClosed
 	}
+}
+
+// saturated reports whether admission control should shed the request.
+func (s *Server) saturated() bool {
+	return s.opts.MaxPending > 0 && s.pending.Load() >= int64(s.opts.MaxPending)
+}
+
+// throttle answers a request shed by admission control: 429 with a
+// Retry-After hint, counted separately from bad requests (the client did
+// nothing wrong) and visible on the event spine as a serve.reject.
+func (s *Server) throttle(w http.ResponseWriter, r *http.Request) {
+	s.throttled.Add(1)
+	if obs.On() {
+		obs.Emit(obs.Event{Type: obs.ServeReject, Level: obs.LevelWarn, Endpoint: r.URL.Path, Err: "worker pool saturated"})
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(map[string]string{"error": "worker pool saturated; retry after backoff"})
 }
 
 // Handler returns the HTTP handler exposing the daemon's endpoints.
@@ -362,6 +413,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(s.deadlineWriter(w)).Encode(rec)
 		return
 	}
+	// Admission control sits after the probe on purpose: a cache hit costs
+	// no worker, so a saturated pool can keep answering the already-computed
+	// universe while shedding fresh work.
+	if s.saturated() {
+		s.throttle(w, r)
+		return
+	}
 	ctx := r.Context()
 	out := make(chan campaign.Record, 1)
 	if err := s.submit(ctx, sc, out); err != nil {
@@ -386,6 +444,10 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad matrix spec: %w", err))
 		return
 	}
+	if s.saturated() {
+		s.throttle(w, r)
+		return
+	}
 	// Bound the request BEFORE expansion: Expand allocates one Scenario per
 	// axis-product element, so a malicious spec with huge axes must be
 	// rejected from the axis lengths alone, not after the allocation.
@@ -401,6 +463,17 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	scenarios, err := m.Expand()
+	if err != nil {
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	// The optional ?lo=&hi= range restricts the response to a contiguous
+	// slice of the expanded index space.  The matrix is still expanded (and
+	// bounded) in full — determinism demands the coordinator and every
+	// worker agree on the global index assignment — and the slice keeps the
+	// original indices, so concatenating the streams of a partition of
+	// [0, len) reproduces the unsharded export byte for byte.
+	scenarios, err = sliceRange(r, scenarios)
 	if err != nil {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
@@ -450,6 +523,31 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	writer.Flush()
 }
 
+// sliceRange applies the optional ?lo=&hi= scenario-index range of a
+// campaign request: absent parameters default to the full expansion, and the
+// bounds must satisfy 0 <= lo <= hi <= len(scenarios).  lo == hi is a legal
+// empty lease (a coordinator probing a worker), not an error.
+func sliceRange(r *http.Request, scenarios []campaign.Scenario) ([]campaign.Scenario, error) {
+	q := r.URL.Query()
+	lo, hi := 0, len(scenarios)
+	var err error
+	if v := q.Get("lo"); v != "" {
+		if lo, err = strconv.Atoi(v); err != nil {
+			return nil, fmt.Errorf("bad range: lo %q is not an integer", v)
+		}
+	}
+	if v := q.Get("hi"); v != "" {
+		if hi, err = strconv.Atoi(v); err != nil {
+			return nil, fmt.Errorf("bad range: hi %q is not an integer", v)
+		}
+	}
+	if lo < 0 || hi < lo || hi > len(scenarios) {
+		return nil, fmt.Errorf("bad range [%d, %d): need 0 <= lo <= hi <= %d (the matrix expands to %d scenarios)",
+			lo, hi, len(scenarios), len(scenarios))
+	}
+	return scenarios[lo:hi], nil
+}
+
 // deadlineWriter wraps a response so every write (one record, on the
 // streaming endpoints) carries a fresh write deadline and an immediate
 // flush: records reach a reading client as they complete, and a client that
@@ -493,6 +591,13 @@ type Metrics struct {
 	RunRequests      uint64  `json:"run_requests"`
 	CampaignRequests uint64  `json:"campaign_requests"`
 	BadRequests      uint64  `json:"bad_requests"`
+	// Throttled counts requests shed by admission control (429 + Retry-After
+	// while the pool's pending count was at Options.MaxPending).  Always 0
+	// when admission control is disabled.
+	Throttled uint64 `json:"throttled"`
+	// Pending is the instantaneous count of scenarios queued or running on
+	// the pool — the value admission control compares against MaxPending.
+	Pending int64 `json:"pending"`
 	// Records counts scenarios executed (or served from the cache) across
 	// all endpoints.  Failed is the subset that genuinely failed (protocol
 	// error, verification failure, panic); Cancelled is the subset aborted
@@ -537,6 +642,8 @@ func (s *Server) Snapshot() Metrics {
 		RunRequests:      s.runRequests.Load(),
 		CampaignRequests: s.campaignRequests.Load(),
 		BadRequests:      s.badRequests.Load(),
+		Throttled:        s.throttled.Load(),
+		Pending:          s.pending.Load(),
 		// failed/cancelled before records: see the invariant above.
 		Failed:    s.failed.Load(),
 		Cancelled: s.cancelled.Load(),
@@ -572,6 +679,8 @@ func (s *Server) handleMetricsPrometheus(w http.ResponseWriter, r *http.Request)
 	reg.CounterFunc("ringsym_serve_run_requests_total", "Accepted POST /v1/run requests.", func() float64 { return float64(m.RunRequests) })
 	reg.CounterFunc("ringsym_serve_campaign_requests_total", "Accepted POST /v1/campaign requests.", func() float64 { return float64(m.CampaignRequests) })
 	reg.CounterFunc("ringsym_serve_bad_requests_total", "Rejected (4xx) requests.", func() float64 { return float64(m.BadRequests) })
+	reg.CounterFunc("ringsym_serve_throttled_total", "Requests shed by admission control (429).", func() float64 { return float64(m.Throttled) })
+	reg.Gauge("ringsym_serve_pending", "Scenarios queued or running on the pool.", func() float64 { return float64(m.Pending) })
 	reg.CounterFunc("ringsym_serve_records_total", "Scenarios executed or served from the cache.", func() float64 { return float64(m.Records) })
 	reg.CounterFunc("ringsym_serve_failed_total", "Scenarios that genuinely failed.", func() float64 { return float64(m.Failed) })
 	reg.CounterFunc("ringsym_serve_cancelled_total", "Scenarios aborted by client disconnects.", func() float64 { return float64(m.Cancelled) })

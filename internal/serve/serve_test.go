@@ -272,6 +272,59 @@ func TestCampaignEndpoint(t *testing.T) {
 	}
 }
 
+// TestCampaignRange: ?lo=&hi= scope a campaign to a scenario-index range,
+// and the concatenation of range responses reproduces the whole-matrix
+// response byte-for-byte — the serving half of the fleet merger's
+// byte-identity invariant.
+func TestCampaignRange(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	matrix := campaign.Matrix{Sizes: []int{8}, Seeds: []int64{1, 2}}
+	scenarios, err := matrix.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(scenarios)
+
+	slurp := func(query string) ([]byte, int) {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/campaign"+query, matrix)
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), resp.StatusCode
+	}
+
+	full, code := slurp("")
+	if code != http.StatusOK {
+		t.Fatalf("full campaign: status %d", code)
+	}
+	cuts := []int{0, 1, total / 3, total / 2, total}
+	var merged bytes.Buffer
+	for i := 0; i+1 < len(cuts); i++ {
+		part, code := slurp(fmt.Sprintf("?lo=%d&hi=%d", cuts[i], cuts[i+1]))
+		if code != http.StatusOK {
+			t.Fatalf("range [%d, %d): status %d", cuts[i], cuts[i+1], code)
+		}
+		merged.Write(part)
+	}
+	if !bytes.Equal(full, merged.Bytes()) {
+		t.Error("concatenated range responses differ from the full response")
+	}
+
+	// An empty range is a valid, empty stream.
+	if part, code := slurp(fmt.Sprintf("?lo=%d&hi=%d", 1, 1)); code != http.StatusOK || len(part) != 0 {
+		t.Errorf("empty range: status %d, %d bytes", code, len(part))
+	}
+	// Malformed and out-of-bounds ranges are rejected up front.
+	for _, q := range []string{"?lo=-1", "?hi=nope", "?lo=abc", fmt.Sprintf("?hi=%d", total+1), "?lo=3&hi=2"} {
+		if _, code := slurp(q); code != http.StatusBadRequest {
+			t.Errorf("range query %q: status %d, want 400", q, code)
+		}
+	}
+}
+
 func TestCampaignTooLarge(t *testing.T) {
 	_, ts := newTestServer(t, serve.Options{Workers: 1, MaxCampaignScenarios: 10})
 	resp := postJSON(t, ts.URL+"/v1/campaign", campaign.Matrix{Sizes: []int{8}, Seeds: []int64{1, 2, 3, 4, 5}})
