@@ -1,0 +1,149 @@
+package ringsym_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ringsym"
+)
+
+// buildNet generates one network of the given shape; called once per runtime
+// so each arm starts from an identical configuration.
+func buildNet(t *testing.T, model ringsym.Model, n int, mixed bool, seed int64) *ringsym.Network {
+	t.Helper()
+	nw, err := ringsym.RandomNetwork(ringsym.RandomConfig{
+		N: n, Model: model, MixedChirality: mixed, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestRuntimeDifferentialCoordinate pins the three runtimes to each other on
+// the full coordination pipeline: for every model × parity × chirality shape,
+// the FSM scheduler (v3), the barrier runtime (v2) and the legacy
+// channel-rendezvous runtime (v1) must produce deep-equal results, identical
+// round counts, and — for v3 vs v2 — identical crossing counts (v1 executes
+// one crossing per round by construction, so its invariant is
+// crossings == rounds).
+func TestRuntimeDifferentialCoordinate(t *testing.T) {
+	for _, model := range []ringsym.Model{ringsym.Basic, ringsym.Lazy, ringsym.Perceptive} {
+		for _, n := range []int{7, 8, 11, 12} {
+			for _, mixed := range []bool{false, true} {
+				for seed := int64(1); seed <= 3; seed++ {
+					opts := ringsym.CoordinationOptions{Seed: seed}
+
+					nwF := buildNet(t, model, n, mixed, seed)
+					opts.Runtime = ringsym.RuntimeFSM
+					resF, errF := nwF.Coordinate(opts)
+
+					nwB := buildNet(t, model, n, mixed, seed)
+					opts.Runtime = ringsym.RuntimeBarrier
+					resB, errB := nwB.Coordinate(opts)
+
+					nwL := buildNet(t, model, n, mixed, seed)
+					opts.Runtime = ringsym.RuntimeLegacy
+					resL, errL := nwL.Coordinate(opts)
+
+					if (errF == nil) != (errB == nil) || (errF == nil) != (errL == nil) {
+						t.Fatalf("model=%v n=%d mixed=%v seed=%d: error disagreement fsm=%v barrier=%v legacy=%v",
+							model, n, mixed, seed, errF, errB, errL)
+					}
+					if errF != nil {
+						if errF.Error() != errB.Error() || errF.Error() != errL.Error() {
+							t.Fatalf("model=%v n=%d mixed=%v seed=%d: error text disagreement fsm=%q barrier=%q legacy=%q",
+								model, n, mixed, seed, errF, errB, errL)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(resF, resB) || !reflect.DeepEqual(resF, resL) {
+						t.Fatalf("model=%v n=%d mixed=%v seed=%d: result disagreement\nfsm:     %+v\nbarrier: %+v\nlegacy:  %+v",
+							model, n, mixed, seed, resF, resB, resL)
+					}
+					if nwF.Rounds() != nwB.Rounds() || nwF.Rounds() != nwL.Rounds() {
+						t.Fatalf("model=%v n=%d mixed=%v seed=%d: rounds disagreement fsm=%d barrier=%d legacy=%d",
+							model, n, mixed, seed, nwF.Rounds(), nwB.Rounds(), nwL.Rounds())
+					}
+					if cf, cb := nwF.Engine().Crossings(), nwB.Engine().Crossings(); cf != cb {
+						t.Fatalf("model=%v n=%d mixed=%v seed=%d: crossings disagreement fsm=%d barrier=%d",
+							model, n, mixed, seed, cf, cb)
+					}
+					if cl := nwL.Engine().Crossings(); cl != nwL.Rounds() {
+						t.Fatalf("model=%v n=%d mixed=%v seed=%d: legacy crossings %d != rounds %d",
+							model, n, mixed, seed, cl, nwL.Rounds())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRuntimeDifferentialDiscover does the same for the location-discovery
+// dispatch, covering the lazy sweep, the odd-n basic/perceptive sweep and the
+// even-n perceptive Section V pipeline.
+func TestRuntimeDifferentialDiscover(t *testing.T) {
+	cases := []struct {
+		model ringsym.Model
+		n     int
+		mixed bool
+	}{
+		{ringsym.Lazy, 8, true},
+		{ringsym.Lazy, 9, false},
+		{ringsym.Basic, 9, true},
+		{ringsym.Perceptive, 9, true},
+		{ringsym.Perceptive, 8, true},
+		{ringsym.Perceptive, 12, false},
+	}
+	for _, tc := range cases {
+		for seed := int64(1); seed <= 2; seed++ {
+			opts := ringsym.DiscoveryOptions{Seed: seed}
+
+			nwF := buildNet(t, tc.model, tc.n, tc.mixed, seed)
+			opts.Runtime = ringsym.RuntimeFSM
+			resF, errF := nwF.DiscoverLocations(opts)
+
+			nwB := buildNet(t, tc.model, tc.n, tc.mixed, seed)
+			opts.Runtime = ringsym.RuntimeBarrier
+			resB, errB := nwB.DiscoverLocations(opts)
+
+			nwL := buildNet(t, tc.model, tc.n, tc.mixed, seed)
+			opts.Runtime = ringsym.RuntimeLegacy
+			resL, errL := nwL.DiscoverLocations(opts)
+
+			if errF != nil || errB != nil || errL != nil {
+				t.Fatalf("model=%v n=%d seed=%d: fsm=%v barrier=%v legacy=%v",
+					tc.model, tc.n, seed, errF, errB, errL)
+			}
+			if !reflect.DeepEqual(resF, resB) || !reflect.DeepEqual(resF, resL) {
+				t.Fatalf("model=%v n=%d seed=%d: result disagreement\nfsm:     %+v\nbarrier: %+v\nlegacy:  %+v",
+					tc.model, tc.n, seed, resF, resB, resL)
+			}
+			if nwF.Rounds() != nwB.Rounds() || nwF.Rounds() != nwL.Rounds() {
+				t.Fatalf("model=%v n=%d seed=%d: rounds disagreement fsm=%d barrier=%d legacy=%d",
+					tc.model, tc.n, seed, nwF.Rounds(), nwB.Rounds(), nwL.Rounds())
+			}
+			if cf, cb := nwF.Engine().Crossings(), nwB.Engine().Crossings(); cf != cb {
+				t.Fatalf("model=%v n=%d seed=%d: crossings disagreement fsm=%d barrier=%d",
+					tc.model, tc.n, seed, cf, cb)
+			}
+			if cl := nwL.Engine().Crossings(); cl != nwL.Rounds() {
+				t.Fatalf("model=%v n=%d seed=%d: legacy crossings %d != rounds %d",
+					tc.model, tc.n, seed, cl, nwL.Rounds())
+			}
+		}
+	}
+}
+
+// TestRuntimeDefaultIsFSM pins the default resolution: an unset Runtime must
+// resolve to the FSM scheduler, and SetDefaultRuntime must steer it.
+func TestRuntimeDefaultIsFSM(t *testing.T) {
+	if got := ringsym.RuntimeDefault.Resolve(); got != ringsym.RuntimeFSM {
+		t.Fatalf("default runtime resolves to %v, want %v", got, ringsym.RuntimeFSM)
+	}
+	ringsym.SetDefaultRuntime(ringsym.RuntimeBarrier)
+	defer ringsym.SetDefaultRuntime(ringsym.RuntimeDefault)
+	if got := ringsym.RuntimeDefault.Resolve(); got != ringsym.RuntimeBarrier {
+		t.Fatalf("after SetDefaultRuntime(barrier): resolves to %v", got)
+	}
+}

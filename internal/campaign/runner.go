@@ -114,7 +114,7 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 		workers = len(scenarios)
 	}
 	out := make(chan Record)
-	feed := make(chan Scenario)
+	feed := make(chan []Scenario)
 	if opts.Cache != nil {
 		scenarios = DecorrelateOrbits(scenarios)
 	}
@@ -122,10 +122,18 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 		obs.Emit(obs.Event{Type: obs.CampaignStart, Level: obs.LevelInfo, Total: len(scenarios)})
 	}
 	go func() {
+		// The feed hands out blocks of consecutive scenarios rather than one
+		// scenario per channel rendezvous: on small-n sweeps a scenario costs
+		// tens of microseconds, so per-scenario channel synchronisation would
+		// be a measurable fraction of the work.
 		defer close(feed)
-		for _, sc := range scenarios {
+		for lo := 0; lo < len(scenarios); lo += feedChunk {
+			hi := lo + feedChunk
+			if hi > len(scenarios) {
+				hi = len(scenarios)
+			}
 			select {
-			case feed <- sc:
+			case feed <- scenarios[lo:hi]:
 			case <-ctx.Done():
 				return
 			}
@@ -137,23 +145,31 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for sc := range feed {
-				// The scenario runs under ctx, so cancellation interrupts an
-				// in-flight protocol within one round instead of waiting out
-				// the round bound, recording the scenario as failed with an
-				// error wrapping context.Canceled.  Emission below stays
-				// best-effort on a cancelled context (the documented Run
-				// contract): a consumer that keeps draining until close
-				// receives the record unless ctx.Done wins the race.
-				rec := RunScenarioContext(ctx, sc, opts)
-				n := done.Add(1)
-				if obs.On() && n%checkpointEvery == 0 {
-					obs.Emit(obs.Event{Type: obs.CampaignCheckpoint, Level: obs.LevelInfo, Done: int(n), Total: len(scenarios)})
-				}
-				select {
-				case out <- rec:
-				case <-ctx.Done():
-					return
+			// Each worker owns one scheduler batch arena for its whole shift:
+			// every FSM run of every scenario this worker executes reuses the
+			// same machine/yield/pending arrays and leap executor, keeping the
+			// block of small-n scenarios cache-resident instead of paying a
+			// pool round-trip (and cold arrays) per scenario.
+			wctx := withNetSlot(engine.WithBatch(ctx, engine.NewBatch()), &netSlot{})
+			for block := range feed {
+				for _, sc := range block {
+					// The scenario runs under ctx, so cancellation interrupts an
+					// in-flight protocol within one round instead of waiting out
+					// the round bound, recording the scenario as failed with an
+					// error wrapping context.Canceled.  Emission below stays
+					// best-effort on a cancelled context (the documented Run
+					// contract): a consumer that keeps draining until close
+					// receives the record unless ctx.Done wins the race.
+					rec := RunScenarioContext(wctx, sc, opts)
+					n := done.Add(1)
+					if obs.On() && n%checkpointEvery == 0 {
+						obs.Emit(obs.Event{Type: obs.CampaignCheckpoint, Level: obs.LevelInfo, Done: int(n), Total: len(scenarios)})
+					}
+					select {
+					case out <- rec:
+					case <-ctx.Done():
+						return
+					}
 				}
 			}
 		}()
@@ -167,6 +183,11 @@ func Run(ctx context.Context, scenarios []Scenario, opts Options) <-chan Record 
 	}()
 	return out
 }
+
+// feedChunk is the number of consecutive scenarios handed to a worker per
+// feed rendezvous.  Small enough that tail imbalance is negligible even on
+// short sweeps, large enough to amortise the channel synchronisation.
+const feedChunk = 8
 
 // checkpointEvery is the campaign.checkpoint cadence in completed scenarios:
 // frequent enough that a live view or durability layer tracking checkpoints
@@ -335,7 +356,12 @@ func RunScenarioContext(ctx context.Context, sc Scenario, opts Options) (rec Rec
 		return rec
 	}
 	out, kind, err := opts.Cache.c.Do(ctx, cacheKey(canon.Fingerprint(ccfg), sc), func(cctx context.Context) (task.Outcome, error) {
-		return runSpec(cctx, spec, ccfg, sc)
+		// The computation runs on a cache-owned goroutine that can outlive
+		// this caller (another waiter keeps it alive after a cancellation),
+		// while cctx still carries ctx's values — so the worker-owned arenas
+		// riding in them must be detached here or two goroutines could share
+		// one arena.  The engine falls back to its internal pools.
+		return runSpec(detachWorkerState(cctx), spec, ccfg, sc)
 	})
 	if err != nil {
 		rec.Status = StatusFailed
@@ -424,13 +450,56 @@ func generateConfig(sc Scenario, opts Options, model ring.Model) (engine.Config,
 	return gen, nil
 }
 
+// netSlot is a worker-owned network-reuse slot: one facade network, reset in
+// place for every scenario the worker runs, so the ring state, agent objects
+// and their grown scratch buffers survive across a whole sweep instead of
+// being rebuilt per scenario.  A slot is single-threaded, like the engine
+// arena it rides next to in the worker's context.
+type netSlot struct{ nw *ringsym.Network }
+
+type netSlotKey struct{}
+
+// withNetSlot returns a context carrying s; runSpec reuses the slot's network
+// when present.  Pass nil to shadow an inherited slot (detachWorkerState).
+func withNetSlot(ctx context.Context, s *netSlot) context.Context {
+	return context.WithValue(ctx, netSlotKey{}, s)
+}
+
+// detachWorkerState shadows the worker-owned single-threaded state riding in
+// ctx's values (the engine arena and the network slot) so a computation that
+// may run concurrently with — or outlive — the worker cannot share them.
+func detachWorkerState(ctx context.Context) context.Context {
+	return withNetSlot(engine.WithBatch(ctx, nil), nil)
+}
+
+// acquireNetwork returns a network for cfg: the context's slot network, reset
+// in place, when a slot is installed — a fresh one otherwise (and after a
+// failed reset, whose contract leaves the network undefined).
+func acquireNetwork(ctx context.Context, cfg ringsym.Config) (*ringsym.Network, error) {
+	s, _ := ctx.Value(netSlotKey{}).(*netSlot)
+	if s != nil && s.nw != nil {
+		if err := s.nw.Reset(cfg); err == nil {
+			return s.nw, nil
+		}
+		s.nw = nil
+	}
+	nw, err := ringsym.NewNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s != nil {
+		s.nw = nw
+	}
+	return nw, nil
+}
+
 // runSpec executes the scenario's task on the given configuration through
 // the registry spec: the network is built behind the public facade (whose
 // pipelines verify protocol outcomes against the simulator's ground truth),
 // the spec runs, and the finished outcome is re-checked with the spec's own
 // Verify before it may enter the cache or a record.
 func runSpec(ctx context.Context, spec task.Spec, gen engine.Config, sc Scenario) (task.Outcome, error) {
-	nw, err := ringsym.NewNetwork(ringsym.Config{
+	nw, err := acquireNetwork(ctx, ringsym.Config{
 		Model:         gen.Model,
 		Circumference: gen.Circ,
 		Positions:     gen.Positions,

@@ -45,63 +45,67 @@ type Coordination struct {
 //   - even (or unknown) n: the pseudo-random schedule substituting for
 //     Theorem 27, then Algorithm 1 and Algorithm 2.
 func Coordinate(a *engine.Agent, opts Options) (*Coordination, error) {
-	f := NewFrame(a)
-	if opts.CommonSense {
-		return coordinateCommonSense(f)
-	}
-
-	start := f.RoundsUsed()
-	var nmDir ring.Direction
-	var err error
-	if a.NParity() == engine.ParityOdd {
-		nmDir, err = NontrivialMoveOdd(f)
-	} else {
-		nmDir, err = NontrivialMoveEven(f, opts.Seed)
-	}
-	if err != nil {
-		return nil, err
-	}
-	afterNM := f.RoundsUsed()
-
-	nmDir, err = DirectionAgreement(f, nmDir)
-	if err != nil {
-		return nil, err
-	}
-	afterDA := f.RoundsUsed()
-
-	isLeader, err := LeaderElectWithNM(f, nmDir)
-	if err != nil {
-		return nil, err
-	}
-	return &Coordination{
-		Frame:            f,
-		IsLeader:         isLeader,
-		NontrivialDir:    nmDir,
-		RoundsNontrivial: afterNM - start,
-		RoundsAgreement:  afterDA - afterNM,
-		RoundsLeader:     f.RoundsUsed() - afterDA,
-	}, nil
+	return engine.RunMachine(a, CoordinateMachine(a, opts))
 }
 
-// coordinateCommonSense is the Table II pipeline: the frames already agree,
-// so the leader is elected by binary search (Lemma 13) and a nontrivial move
-// follows from the leader (Lemma 10).
-func coordinateCommonSense(f *Frame) (*Coordination, error) {
+// CoordinateMachine builds the coordination pipeline as a resumable machine
+// for the engine's v3 scheduler; Coordinate drives the same machine through
+// the blocking dispatcher on the v1/v2 runtimes.
+func CoordinateMachine(a *engine.Agent, opts Options) *engine.Proto[*Coordination] {
+	return engine.NewProto(func(done func(*Coordination, error) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return CoordinateStep(a, opts, func(c *Coordination) (engine.Yield, engine.Cont) {
+			return done(c, nil)
+		})
+	})
+}
+
+// CoordinateStep is the machine form of Coordinate.
+func CoordinateStep(a *engine.Agent, opts Options, k func(*Coordination) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	f := NewFrame(a)
+	if opts.CommonSense {
+		return coordinateCommonSenseStep(f, k)
+	}
+
 	start := f.RoundsUsed()
-	isLeader, err := LeaderElectCommonSense(f)
-	if err != nil {
-		return nil, err
+	nmStep := NontrivialMoveOddStep
+	if a.NParity() != engine.ParityOdd {
+		nmStep = func(f *Frame, k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+			return NontrivialMoveEvenStep(f, opts.Seed, k)
+		}
 	}
-	afterLeader := f.RoundsUsed()
-	nmDir, err := NontrivialMoveFromLeader(f, isLeader)
-	if err != nil {
-		return nil, err
-	}
-	return &Coordination{
-		Frame:            f,
-		IsLeader:         isLeader,
-		NontrivialDir:    nmDir,
-		RoundsLeader:     afterLeader - start,
-		RoundsNontrivial: f.RoundsUsed() - afterLeader,
-	}, nil
+	return nmStep(f, func(nmDir ring.Direction) (engine.Yield, engine.Cont) {
+		afterNM := f.RoundsUsed()
+		return DirectionAgreementStep(f, nmDir, func(nmDir ring.Direction) (engine.Yield, engine.Cont) {
+			afterDA := f.RoundsUsed()
+			return LeaderElectWithNMStep(f, nmDir, func(isLeader bool) (engine.Yield, engine.Cont) {
+				return k(&Coordination{
+					Frame:            f,
+					IsLeader:         isLeader,
+					NontrivialDir:    nmDir,
+					RoundsNontrivial: afterNM - start,
+					RoundsAgreement:  afterDA - afterNM,
+					RoundsLeader:     f.RoundsUsed() - afterDA,
+				})
+			})
+		})
+	})
+}
+
+// coordinateCommonSenseStep is the Table II pipeline: the frames already
+// agree, so the leader is elected by binary search (Lemma 13) and a
+// nontrivial move follows from the leader (Lemma 10).
+func coordinateCommonSenseStep(f *Frame, k func(*Coordination) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	start := f.RoundsUsed()
+	return LeaderElectCommonSenseStep(f, func(isLeader bool) (engine.Yield, engine.Cont) {
+		afterLeader := f.RoundsUsed()
+		return NontrivialMoveFromLeaderStep(f, isLeader, func(nmDir ring.Direction) (engine.Yield, engine.Cont) {
+			return k(&Coordination{
+				Frame:            f,
+				IsLeader:         isLeader,
+				NontrivialDir:    nmDir,
+				RoundsLeader:     afterLeader - start,
+				RoundsNontrivial: f.RoundsUsed() - afterLeader,
+			})
+		})
+	})
 }

@@ -1,6 +1,9 @@
 package core
 
-import "ringsym/internal/ring"
+import (
+	"ringsym/internal/engine"
+	"ringsym/internal/ring"
+)
 
 // DirectionAgreement implements Algorithm 1 (DirAgr).  Precondition: nmDir is
 // this agent's direction, in its current frame, in an assignment known to be
@@ -11,16 +14,20 @@ import "ringsym/internal/ring"
 // The function returns nmDir re-expressed in the (possibly flipped) frame so
 // that it still denotes the same objective direction.  Cost: 2 rounds.
 func DirectionAgreement(f *Frame, nmDir ring.Direction) (ring.Direction, error) {
-	trace, err := f.RoundN(nmDir, 2)
-	if err != nil {
-		return ring.Idle, err
-	}
-	obs1, obs2 := trace[0], trace[1]
-	if obs1.Dist+obs2.Dist > f.FullCircle() {
-		f.Flip()
-		return nmDir.Opposite(), nil
-	}
-	return nmDir, nil
+	return engine.RunStep(f.Agent(), func(k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return DirectionAgreementStep(f, nmDir, k)
+	})
+}
+
+// DirectionAgreementStep is the machine form of DirectionAgreement.
+func DirectionAgreementStep(f *Frame, nmDir ring.Direction, k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return f.RoundNStep(nmDir, 2, func(trace []engine.Observation) (engine.Yield, engine.Cont) {
+		if trace[0].Dist+trace[1].Dist > f.FullCircle() {
+			f.Flip()
+			return k(nmDir.Opposite())
+		}
+		return k(nmDir)
+	})
 }
 
 // DirectionAgreementOdd implements Proposition 17: for odd n the direction
@@ -29,19 +36,23 @@ func DirectionAgreement(f *Frame, nmDir ring.Direction) (ring.Direction, error) 
 // frame already points the same way, otherwise the round was a nontrivial
 // move (odd n) and Algorithm 1 finishes the job.  Cost: at most 3 rounds.
 func DirectionAgreementOdd(f *Frame) error {
-	obs1, err := f.Round(ring.Clockwise)
-	if err != nil {
-		return err
-	}
-	if obs1.Dist == 0 {
-		return nil
-	}
-	obs2, err := f.Round(ring.Clockwise)
-	if err != nil {
-		return err
-	}
-	if obs1.Dist+obs2.Dist > f.FullCircle() {
-		f.Flip()
-	}
-	return nil
+	_, err := engine.RunStep(f.Agent(), func(k func(struct{}) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return DirectionAgreementOddStep(f, func() (engine.Yield, engine.Cont) { return k(struct{}{}) })
+	})
+	return err
+}
+
+// DirectionAgreementOddStep is the machine form of DirectionAgreementOdd.
+func DirectionAgreementOddStep(f *Frame, k func() (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return f.RoundStep(ring.Clockwise, func(obs1 engine.Observation) (engine.Yield, engine.Cont) {
+		if obs1.Dist == 0 {
+			return k()
+		}
+		return f.RoundStep(ring.Clockwise, func(obs2 engine.Observation) (engine.Yield, engine.Cont) {
+			if obs1.Dist+obs2.Dist > f.FullCircle() {
+				f.Flip()
+			}
+			return k()
+		})
+	})
 }

@@ -265,15 +265,21 @@ func (f *Frame) ClassifyRotation(dir ring.Direction, restore bool) (RotationClas
 			return RotUnknown, err
 		}
 	}
+	return classOf(f.full, obs1, obs2), nil
+}
+
+// classOf is Lemma 2's classification from the two observations of the double
+// execution, shared by the blocking and the machine form.
+func classOf(full int64, obs1, obs2 engine.Observation) RotationClass {
 	switch sum := obs1.Dist + obs2.Dist; {
 	case obs1.Dist == 0:
-		return RotZero, nil
-	case sum == f.full:
-		return RotHalf, nil
-	case sum > f.full:
-		return RotAboveHalf, nil
+		return RotZero
+	case sum == full:
+		return RotHalf
+	case sum > full:
+		return RotAboveHalf
 	default:
-		return RotBelowHalf, nil
+		return RotBelowHalf
 	}
 }
 

@@ -1,0 +1,107 @@
+// Machine (CPS) forms of the Frame round primitives, for protocols running on
+// the engine's v3 scheduler.  Each XStep method mirrors its blocking
+// counterpart X exactly — same validation, same frame translation on the way
+// in, same flip adjustment on the way out — but instead of blocking it returns
+// a yield plus the continuation to resume with, so a whole protocol built from
+// these composes into one resumable state machine (engine.Proto).  Errors need
+// no plumbing: validation failures abort the machine through the yield and run
+// failures arrive as Resume errors, both intercepted by engine.Proto.
+//
+// Observation-slice arguments passed to continuations alias the agent's resume
+// buffer: consume (or copy) them before the next yield.
+package core
+
+import (
+	"ringsym/internal/engine"
+	"ringsym/internal/ring"
+)
+
+// flipObs maps one observation into the frame's orientation.
+func (f *Frame) flipObs(obs engine.Observation) engine.Observation {
+	if f.flipped && obs.Dist != 0 {
+		obs.Dist = f.full - obs.Dist
+	}
+	return obs
+}
+
+// RoundStep is the machine form of Round: one round in direction dir (frame
+// coordinates); k receives the observation in the frame's orientation.
+func (f *Frame) RoundStep(dir ring.Direction, k func(engine.Observation) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return f.agent.YieldRound(f.translate(dir)), func(in engine.Resume) (engine.Yield, engine.Cont) {
+		return k(f.flipObs(in.Obs[0]))
+	}
+}
+
+// RoundNStep is the machine form of RoundN: n rounds in direction dir as one
+// leap batch; k receives the per-round trace (frame orientation, aliasing the
+// resume buffer).
+func (f *Frame) RoundNStep(dir ring.Direction, n int, k func([]engine.Observation) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return f.agent.YieldRoundN(f.translate(dir), n), func(in engine.Resume) (engine.Yield, engine.Cont) {
+		return k(f.retranslate(in.Obs))
+	}
+}
+
+// RoundNSumStep is the machine form of RoundNSum: k receives the stretch's
+// cumulative displacement in the frame's orientation.
+func (f *Frame) RoundNSumStep(dir ring.Direction, n int, k func(int64) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return f.agent.YieldRoundSum(f.translate(dir), n), func(in engine.Resume) (engine.Yield, engine.Cont) {
+		sum := in.Sum
+		if f.flipped && sum != 0 {
+			sum = f.full - sum
+		}
+		return k(sum)
+	}
+}
+
+// RoundUntilStep is the machine form of RoundUntil.  Like the blocking form
+// (and YieldRoundUntil) it snapshots the agent's displacement, so it must be
+// invoked at yield time, not built ahead.
+func (f *Frame) RoundUntilStep(dir ring.Direction, target int64, n int, k func([]engine.Observation) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	agentTarget := target
+	if f.flipped && target != 0 {
+		agentTarget = f.full - target
+	}
+	return f.agent.YieldRoundUntil(f.translate(dir), agentTarget, n), func(in engine.Resume) (engine.Yield, engine.Cont) {
+		return k(f.retranslate(in.Obs))
+	}
+}
+
+// RoundScheduleStep is the machine form of RoundSchedule: a whole per-round
+// direction schedule (frame coordinates) as one batch.
+func (f *Frame) RoundScheduleStep(dirs []ring.Direction, k func([]engine.Observation) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	if cap(f.schedScratch) < len(dirs) {
+		f.schedScratch = make([]ring.Direction, len(dirs))
+	}
+	sched := f.schedScratch[:len(dirs)]
+	for i, d := range dirs {
+		sched[i] = f.translate(d)
+	}
+	return f.agent.YieldSchedule(sched), func(in engine.Resume) (engine.Yield, engine.Cont) {
+		return k(f.retranslate(in.Obs))
+	}
+}
+
+// RoundPairStep is the machine form of RoundPair: SINGLEROUND then
+// REVERSEDROUND; k receives the first round's observation.
+func (f *Frame) RoundPairStep(dir ring.Direction, k func(engine.Observation) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return f.RoundStep(dir, func(obs engine.Observation) (engine.Yield, engine.Cont) {
+		return f.RoundStep(dir.Opposite(), func(engine.Observation) (engine.Yield, engine.Cont) {
+			return k(obs)
+		})
+	})
+}
+
+// ClassifyRotationStep is the machine form of ClassifyRotation (Lemma 2).
+func (f *Frame) ClassifyRotationStep(dir ring.Direction, restore bool, k func(RotationClass) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return f.RoundNStep(dir, 2, func(trace []engine.Observation) (engine.Yield, engine.Cont) {
+		cls := classOf(f.full, trace[0], trace[1])
+		if !restore {
+			return k(cls)
+		}
+		// The reversed rounds' observations are discarded, so the aggregate
+		// form suffices.
+		return f.RoundNSumStep(dir.Opposite(), 2, func(int64) (engine.Yield, engine.Cont) {
+			return k(cls)
+		})
+	})
+}

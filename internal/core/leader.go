@@ -18,24 +18,31 @@ import (
 // (Lemma 3(c) guarantees one of them does).  After ⌈log2 N⌉ rounds exactly
 // one agent remains.  Cost: ⌈log2 N⌉ rounds.
 func LeaderElectWithNM(f *Frame, nmDir ring.Direction) (bool, error) {
-	inX := nmDir == ring.Clockwise
-	for i := 1; i <= f.idBits(); i++ {
+	return engine.RunStep(f.Agent(), func(k func(bool) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return LeaderElectWithNMStep(f, nmDir, k)
+	})
+}
+
+// LeaderElectWithNMStep is the machine form of LeaderElectWithNM.
+func LeaderElectWithNMStep(f *Frame, nmDir ring.Direction, k func(bool) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	var bit func(i int, inX bool) (engine.Yield, engine.Cont)
+	bit = func(i int, inX bool) (engine.Yield, engine.Cont) {
+		if i > f.idBits() {
+			return k(inX)
+		}
 		inX0 := inX && IDBit(f.ID(), i) == 0
 		dir := ring.Anticlockwise
 		if inX0 {
 			dir = ring.Clockwise
 		}
-		obs, err := f.Round(dir)
-		if err != nil {
-			return false, err
-		}
-		if obs.Dist != 0 {
-			inX = inX0
-		} else {
-			inX = inX && !inX0
-		}
+		return f.RoundStep(dir, func(obs engine.Observation) (engine.Yield, engine.Cont) {
+			if obs.Dist != 0 {
+				return bit(i+1, inX0)
+			}
+			return bit(i+1, inX && !inX0)
+		})
 	}
-	return inX, nil
+	return bit(1, nmDir == ring.Clockwise)
 }
 
 // EmptinessTest implements Lemma 12.  All agents know the query set B
@@ -48,8 +55,14 @@ func LeaderElectWithNM(f *Frame, nmDir ring.Direction) (bool, error) {
 // parity.  The returned value — whether B contains the identifier of at least
 // one agent — is identical at every agent.
 func EmptinessTest(f *Frame, inB bool) (bool, error) {
+	return engine.RunStep(f.Agent(), func(k func(bool) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return EmptinessTestStep(f, inB, k)
+	})
+}
+
+// EmptinessTestStep is the machine form of EmptinessTest.
+func EmptinessTestStep(f *Frame, inB bool, k func(bool) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	model := f.agent.Model()
-	nonEmpty := inB
 
 	memberDir := func(member bool) ring.Direction {
 		if member {
@@ -63,14 +76,13 @@ func EmptinessTest(f *Frame, inB bool) (bool, error) {
 
 	needBitRounds := model == ring.Basic && f.agent.NParity() != engine.ParityOdd
 	if !needBitRounds {
-		obs, err := f.Round(memberDir(inB))
-		if err != nil {
-			return false, err
-		}
-		if obs.Dist != 0 || (model.RevealsCollision() && obs.Collided) {
-			nonEmpty = true
-		}
-		return nonEmpty, nil
+		return f.RoundStep(memberDir(inB), func(obs engine.Observation) (engine.Yield, engine.Cont) {
+			nonEmpty := inB
+			if obs.Dist != 0 || (model.RevealsCollision() && obs.Collided) {
+				nonEmpty = true
+			}
+			return k(nonEmpty)
+		})
 	}
 	// Basic model with even n: |B ∩ A| = n/2 can hide behind rotation index
 	// zero.  Testing the bit-slices B ∩ {x : bit_i(x) = 0} recovers it: if
@@ -84,16 +96,15 @@ func EmptinessTest(f *Frame, inB bool) (bool, error) {
 	for i := 1; i <= f.idBits(); i++ {
 		dirs[i] = memberDir(inB && IDBit(f.ID(), i) == 0)
 	}
-	trace, err := f.RoundSchedule(dirs, nil)
-	if err != nil {
-		return false, err
-	}
-	for _, obs := range trace {
-		if obs.Dist != 0 {
-			nonEmpty = true
+	return f.RoundScheduleStep(dirs, func(trace []engine.Observation) (engine.Yield, engine.Cont) {
+		nonEmpty := inB
+		for _, obs := range trace {
+			if obs.Dist != 0 {
+				nonEmpty = true
+			}
 		}
-	}
-	return nonEmpty, nil
+		return k(nonEmpty)
+	})
 }
 
 // LeaderElectCommonSense implements Lemma 13: with a common sense of
@@ -103,21 +114,28 @@ func EmptinessTest(f *Frame, inB bool) (bool, error) {
 // perceptive and odd-n basic settings and O(log² N) rounds in the basic model
 // with even n.
 func LeaderElectCommonSense(f *Frame) (bool, error) {
-	lo, hi := 1, f.IDBound()
-	for lo < hi {
+	return engine.RunStep(f.Agent(), func(k func(bool) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return LeaderElectCommonSenseStep(f, k)
+	})
+}
+
+// LeaderElectCommonSenseStep is the machine form of LeaderElectCommonSense.
+func LeaderElectCommonSenseStep(f *Frame, k func(bool) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	var probe func(lo, hi int) (engine.Yield, engine.Cont)
+	probe = func(lo, hi int) (engine.Yield, engine.Cont) {
+		if lo >= hi {
+			return k(f.ID() == lo)
+		}
 		mid := lo + (hi-lo+1)/2
 		inB := f.ID() >= mid && f.ID() <= hi
-		nonEmpty, err := EmptinessTest(f, inB)
-		if err != nil {
-			return false, err
-		}
-		if nonEmpty {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
+		return EmptinessTestStep(f, inB, func(nonEmpty bool) (engine.Yield, engine.Cont) {
+			if nonEmpty {
+				return probe(mid, hi)
+			}
+			return probe(lo, mid-1)
+		})
 	}
-	return f.ID() == lo, nil
+	return probe(1, f.IDBound())
 }
 
 // BroadcastBits lets a single distinguished agent publish a message of the
@@ -130,8 +148,15 @@ func LeaderElectCommonSense(f *Frame) (bool, error) {
 // Precondition: common sense of direction and a unique broadcaster.
 // Cost: bits rounds.  Every agent returns the broadcaster's value.
 func BroadcastBits(f *Frame, isBroadcaster bool, value uint64, bits int) (uint64, error) {
+	return engine.RunStep(f.Agent(), func(k func(uint64) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return BroadcastBitsStep(f, isBroadcaster, value, bits, k)
+	})
+}
+
+// BroadcastBitsStep is the machine form of BroadcastBits.
+func BroadcastBitsStep(f *Frame, isBroadcaster bool, value uint64, bits int, k func(uint64) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	if bits <= 0 || bits > 63 {
-		return 0, fmt.Errorf("core: BroadcastBits supports 1..63 bits, got %d", bits)
+		return engine.Abort(fmt.Errorf("core: BroadcastBits supports 1..63 bits, got %d", bits))
 	}
 	// The whole broadcast schedule is known upfront (it depends only on the
 	// broadcaster's own value), so all bit rounds go out as one leap batch.
@@ -142,15 +167,13 @@ func BroadcastBits(f *Frame, isBroadcaster bool, value uint64, bits int) (uint64
 			dirs[i] = ring.Clockwise
 		}
 	}
-	trace, err := f.RoundSchedule(dirs, nil)
-	if err != nil {
-		return 0, err
-	}
-	var received uint64
-	for i, obs := range trace {
-		if obs.Dist != 0 {
-			received |= 1 << i
+	return f.RoundScheduleStep(dirs, func(trace []engine.Observation) (engine.Yield, engine.Cont) {
+		var received uint64
+		for i, obs := range trace {
+			if obs.Dist != 0 {
+				received |= 1 << i
+			}
 		}
-	}
-	return received, nil
+		return k(received)
+	})
 }

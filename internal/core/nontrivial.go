@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ringsym/internal/comb"
+	"ringsym/internal/engine"
 	"ringsym/internal/ring"
 )
 
@@ -17,27 +18,35 @@ import (
 // The returned direction is this agent's direction, in frame coordinates, in
 // a round known by every agent to be a nontrivial move.
 func NontrivialMoveOdd(f *Frame) (ring.Direction, error) {
-	obs, err := f.Round(ring.Clockwise)
-	if err != nil {
-		return ring.Idle, err
-	}
-	if obs.Dist != 0 {
-		return ring.Clockwise, nil
-	}
-	for i := 1; i <= f.idBits(); i++ {
-		dir := ring.Anticlockwise
-		if IDBit(f.ID(), i) == 1 {
-			dir = ring.Clockwise
-		}
-		obs, err := f.Round(dir)
-		if err != nil {
-			return ring.Idle, err
-		}
+	return engine.RunStep(f.Agent(), func(k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return NontrivialMoveOddStep(f, k)
+	})
+}
+
+// NontrivialMoveOddStep is the machine form of NontrivialMoveOdd.
+func NontrivialMoveOddStep(f *Frame, k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return f.RoundStep(ring.Clockwise, func(obs engine.Observation) (engine.Yield, engine.Cont) {
 		if obs.Dist != 0 {
-			return dir, nil
+			return k(ring.Clockwise)
 		}
-	}
-	return ring.Idle, fmt.Errorf("%w: odd-n bit schedule exhausted", ErrNoNontrivialMove)
+		var bit func(i int) (engine.Yield, engine.Cont)
+		bit = func(i int) (engine.Yield, engine.Cont) {
+			if i > f.idBits() {
+				return engine.Abort(fmt.Errorf("%w: odd-n bit schedule exhausted", ErrNoNontrivialMove))
+			}
+			dir := ring.Anticlockwise
+			if IDBit(f.ID(), i) == 1 {
+				dir = ring.Clockwise
+			}
+			return f.RoundStep(dir, func(obs engine.Observation) (engine.Yield, engine.Cont) {
+				if obs.Dist != 0 {
+					return k(dir)
+				}
+				return bit(i + 1)
+			})
+		}
+		return bit(1)
+	})
 }
 
 // NontrivialMoveFromLeader solves the nontrivial move problem in O(1) rounds
@@ -45,25 +54,28 @@ func NontrivialMoveOdd(f *Frame) (ring.Direction, error) {
 // differ only in the leader's direction, so their rotation indices differ by
 // 2 and cannot both lie in {0, n/2} when n > 4.  Cost: at most 4 rounds.
 func NontrivialMoveFromLeader(f *Frame, isLeader bool) (ring.Direction, error) {
-	cls, err := f.ClassifyRotation(ring.Clockwise, false)
-	if err != nil {
-		return ring.Idle, err
-	}
-	if cls.Nontrivial() {
-		return ring.Clockwise, nil
-	}
-	dir := ring.Clockwise
-	if isLeader {
-		dir = ring.Anticlockwise
-	}
-	cls, err = f.ClassifyRotation(dir, false)
-	if err != nil {
-		return ring.Idle, err
-	}
-	if cls.Nontrivial() {
-		return dir, nil
-	}
-	return ring.Idle, fmt.Errorf("%w: leader-based candidates both trivial (is the leader unique and n > 4?)", ErrNoNontrivialMove)
+	return engine.RunStep(f.Agent(), func(k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return NontrivialMoveFromLeaderStep(f, isLeader, k)
+	})
+}
+
+// NontrivialMoveFromLeaderStep is the machine form of NontrivialMoveFromLeader.
+func NontrivialMoveFromLeaderStep(f *Frame, isLeader bool, k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return f.ClassifyRotationStep(ring.Clockwise, false, func(cls RotationClass) (engine.Yield, engine.Cont) {
+		if cls.Nontrivial() {
+			return k(ring.Clockwise)
+		}
+		dir := ring.Clockwise
+		if isLeader {
+			dir = ring.Anticlockwise
+		}
+		return f.ClassifyRotationStep(dir, false, func(cls RotationClass) (engine.Yield, engine.Cont) {
+			if cls.Nontrivial() {
+				return k(dir)
+			}
+			return engine.Abort(fmt.Errorf("%w: leader-based candidates both trivial (is the leader unique and n > 4?)", ErrNoNontrivialMove))
+		})
+	})
 }
 
 // NontrivialMoveSearch executes the direction schedule defined by the set
@@ -76,30 +88,45 @@ func NontrivialMoveFromLeader(f *Frame, isLeader bool) (ring.Direction, error) {
 // It returns this agent's direction in the successful round and the index of
 // the successful set.
 func NontrivialMoveSearch(f *Frame, fam comb.SetFamily, weak bool) (ring.Direction, int, error) {
-	for i := 0; i < fam.Len(); i++ {
+	type hit struct {
+		dir ring.Direction
+		set int
+	}
+	h, err := engine.RunStep(f.Agent(), func(k func(hit) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return NontrivialMoveSearchStep(f, fam, weak, func(dir ring.Direction, set int) (engine.Yield, engine.Cont) {
+			return k(hit{dir: dir, set: set})
+		})
+	})
+	return h.dir, h.set, err
+}
+
+// NontrivialMoveSearchStep is the machine form of NontrivialMoveSearch.
+func NontrivialMoveSearchStep(f *Frame, fam comb.SetFamily, weak bool, k func(ring.Direction, int) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	var try func(i int) (engine.Yield, engine.Cont)
+	try = func(i int) (engine.Yield, engine.Cont) {
+		if i >= fam.Len() {
+			return engine.Abort(fmt.Errorf("%w: schedule of %d sets exhausted", ErrNoNontrivialMove, fam.Len()))
+		}
 		dir := ring.Anticlockwise
 		if fam.Contains(i, f.ID()) {
 			dir = ring.Clockwise
 		}
 		if weak {
-			obs, err := f.Round(dir)
-			if err != nil {
-				return ring.Idle, 0, err
+			return f.RoundStep(dir, func(obs engine.Observation) (engine.Yield, engine.Cont) {
+				if obs.Dist != 0 {
+					return k(dir, i)
+				}
+				return try(i + 1)
+			})
+		}
+		return f.ClassifyRotationStep(dir, false, func(cls RotationClass) (engine.Yield, engine.Cont) {
+			if cls.Nontrivial() {
+				return k(dir, i)
 			}
-			if obs.Dist != 0 {
-				return dir, i, nil
-			}
-			continue
-		}
-		cls, err := f.ClassifyRotation(dir, false)
-		if err != nil {
-			return ring.Idle, 0, err
-		}
-		if cls.Nontrivial() {
-			return dir, i, nil
-		}
+			return try(i + 1)
+		})
 	}
-	return ring.Idle, 0, fmt.Errorf("%w: schedule of %d sets exhausted", ErrNoNontrivialMove, fam.Len())
+	return try(0)
 }
 
 // defaultScheduleLength bounds the pseudo-random schedule used when n is
@@ -116,12 +143,20 @@ func defaultScheduleLength(idBound int) int {
 // number of rounds matches Θ(n·log(N/n)/log n) up to constants; Corollary 26
 // shows this is optimal up to the log n factor.
 func NontrivialMoveEven(f *Frame, seed int64) (ring.Direction, error) {
+	return engine.RunStep(f.Agent(), func(k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return NontrivialMoveEvenStep(f, seed, k)
+	})
+}
+
+// NontrivialMoveEvenStep is the machine form of NontrivialMoveEven.
+func NontrivialMoveEvenStep(f *Frame, seed int64, k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	fam, err := comb.NewRandomDistinguisher(f.IDBound(), defaultScheduleLength(f.IDBound()), seed)
 	if err != nil {
-		return ring.Idle, err
+		return engine.Abort(err)
 	}
-	dir, _, err := NontrivialMoveSearch(f, fam, false)
-	return dir, err
+	return NontrivialMoveSearchStep(f, fam, false, func(dir ring.Direction, _ int) (engine.Yield, engine.Cont) {
+		return k(dir)
+	})
 }
 
 // WeakNontrivialMoveEven is the weak variant (rotation index merely nonzero),

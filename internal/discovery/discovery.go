@@ -60,41 +60,56 @@ type Result struct {
 // LocationDiscovery solves location discovery in the given agent's model,
 // choosing the appropriate algorithm (see the package comment).
 func LocationDiscovery(a *engine.Agent, opts Options) (*Result, error) {
+	return engine.RunMachine(a, LocationDiscoveryMachine(a, opts))
+}
+
+// LocationDiscoveryMachine builds the model-dispatching discovery pipeline as
+// a resumable machine for the engine's v3 scheduler; LocationDiscovery drives
+// the same machine through the blocking dispatcher on the v1/v2 runtimes.
+func LocationDiscoveryMachine(a *engine.Agent, opts Options) *engine.Proto[*Result] {
+	return engine.NewProto(func(done func(*Result, error) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return LocationDiscoveryStep(a, opts, func(r *Result) (engine.Yield, engine.Cont) {
+			return done(r, nil)
+		})
+	})
+}
+
+// LocationDiscoveryStep is the machine form of LocationDiscovery.
+func LocationDiscoveryStep(a *engine.Agent, opts Options, k func(*Result) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	even := a.NParity() == engine.ParityEven
 	switch a.Model() {
 	case ring.Basic:
 		if even {
-			return nil, ErrNotSolvable
+			return engine.Abort(ErrNotSolvable)
 		}
-		return sweepDiscovery(a, opts, 2)
+		return sweepDiscoveryStep(a, opts, 2, k)
 	case ring.Lazy:
-		return sweepDiscovery(a, opts, 1)
+		return sweepDiscoveryStep(a, opts, 1, k)
 	case ring.Perceptive:
 		if even {
-			return perceptiveDiscovery(a, opts)
+			return perceptiveDiscoveryStep(a, opts, k)
 		}
-		return sweepDiscovery(a, opts, 2)
+		return sweepDiscoveryStep(a, opts, 2, k)
 	default:
-		return nil, fmt.Errorf("%w: unknown model %v", ErrProtocol, a.Model())
+		return engine.Abort(fmt.Errorf("%w: unknown model %v", ErrProtocol, a.Model()))
 	}
 }
 
-// perceptiveDiscovery adapts the Section V pipeline to the package's Result.
-func perceptiveDiscovery(a *engine.Agent, opts Options) (*Result, error) {
-	r, err := perceptive.LocationDiscovery(a, perceptive.Options{Seed: opts.Seed})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		IsLeader:           r.IsLeader,
-		N:                  r.N,
-		Positions:          r.Positions,
-		RoundsCoordination: r.RoundsCoordination + r.RoundsRingDist,
-		RoundsDiscovery:    r.RoundsDistances,
-	}, nil
+// perceptiveDiscoveryStep adapts the Section V pipeline to the package's
+// Result.
+func perceptiveDiscoveryStep(a *engine.Agent, opts Options, k func(*Result) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return perceptive.LocationDiscoveryStep(a, perceptive.Options{Seed: opts.Seed}, func(r *perceptive.DiscoveryResult) (engine.Yield, engine.Cont) {
+		return k(&Result{
+			IsLeader:           r.IsLeader,
+			N:                  r.N,
+			Positions:          r.Positions,
+			RoundsCoordination: r.RoundsCoordination + r.RoundsRingDist,
+			RoundsDiscovery:    r.RoundsDistances,
+		})
+	})
 }
 
-// sweepDiscovery implements Lemma 16: after the coordination problems are
+// sweepDiscoveryStep implements Lemma 16: after the coordination problems are
 // solved, the agents repeat a round with constant rotation index `step` (1 in
 // the lazy model: only the leader moves; 2 in the basic model with odd n: the
 // leader moves clockwise and everybody else anticlockwise).  Each round every
@@ -102,91 +117,90 @@ func perceptiveDiscovery(a *engine.Agent, opts Options) (*Result, error) {
 // after exactly n rounds it is back at its pre-sweep slot, has visited every
 // slot (gcd(step, n) = 1) and therefore knows every initial position as well
 // as n itself.
-func sweepDiscovery(a *engine.Agent, opts Options, step int) (*Result, error) {
-	coord, err := core.Coordinate(a, core.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
-	if err != nil {
-		return nil, err
-	}
-	f := coord.Frame
-	coordRounds := f.RoundsUsed()
+func sweepDiscoveryStep(a *engine.Agent, opts Options, step int, k func(*Result) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return core.CoordinateStep(a, core.Options{CommonSense: opts.CommonSense, Seed: opts.Seed}, func(coord *core.Coordination) (engine.Yield, engine.Cont) {
+		f := coord.Frame
+		coordRounds := f.RoundsUsed()
 
-	dir := ring.Idle
-	if step == 2 {
-		dir = ring.Anticlockwise
-	}
-	if coord.IsLeader {
-		dir = ring.Clockwise
-	}
+		dir := ring.Idle
+		if step == 2 {
+			dir = ring.Anticlockwise
+		}
+		if coord.IsLeader {
+			dir = ring.Clockwise
+		}
 
-	full := f.FullCircle()
-	start := f.Displacement()
-	visited := []int64{start}
-	// The sweep executes as leap batches of doubling size: the agent does not
-	// know n, so it asks for exponentially growing constant-direction batches
-	// and scans each returned displacement trace for the round at which it is
-	// back at its pre-sweep position.  The engine solves that stop condition
-	// in closed form (Frame.RoundUntil), so the batch ends exactly at the
-	// return round — the same n rounds the per-round loop consumed — in
-	// O(log n) barrier crossings instead of n.
-	//
-	// Runaway guard: positions are distinct integer ticks, so n never exceeds
-	// the circumference in ticks (full is in half-ticks, twice that).  The
-	// bound is kept in int64: converting the circumference to int would
-	// truncate on 32-bit platforms.
-	circTicks := full / 2
-	var trace []engine.Observation
-	returned := false
-	for batch := 1; !returned; batch *= 2 {
-		var err error
-		trace, err = f.RoundUntil(dir, start, batch, trace[:0])
-		if err != nil {
-			return nil, err
-		}
-		d := visited[len(visited)-1]
-		for _, obs := range trace {
-			d = (d + obs.Dist) % full
-			if d == start {
-				returned = true
-				break
-			}
-			visited = append(visited, d)
-			if int64(len(visited)) > circTicks {
-				return nil, fmt.Errorf("%w: sweep did not return to its start", ErrProtocol)
-			}
-		}
-	}
-	n := len(visited)
+		full := f.FullCircle()
+		start := f.Displacement()
+		visited := []int64{start}
+		// The sweep executes as leap batches of doubling size: the agent does
+		// not know n, so it asks for exponentially growing constant-direction
+		// batches and scans each returned displacement trace for the round at
+		// which it is back at its pre-sweep position.  The engine solves that
+		// stop condition in closed form (Frame.RoundUntil), so the batch ends
+		// exactly at the return round — the same n rounds the per-round loop
+		// consumed — in O(log n) scheduler visits instead of n.
+		//
+		// Runaway guard: positions are distinct integer ticks, so n never
+		// exceeds the circumference in ticks (full is in half-ticks, twice
+		// that).  The bound is kept in int64: converting the circumference to
+		// int would truncate on 32-bit platforms.
+		circTicks := full / 2
+		var sweep func(batch int) (engine.Yield, engine.Cont)
+		sweep = func(batch int) (engine.Yield, engine.Cont) {
+			return f.RoundUntilStep(dir, start, batch, func(trace []engine.Observation) (engine.Yield, engine.Cont) {
+				d := visited[len(visited)-1]
+				returned := false
+				for _, obs := range trace {
+					d = (d + obs.Dist) % full
+					if d == start {
+						returned = true
+						break
+					}
+					visited = append(visited, d)
+					if int64(len(visited)) > circTicks {
+						return engine.Abort(fmt.Errorf("%w: sweep did not return to its start", ErrProtocol))
+					}
+				}
+				if !returned {
+					return sweep(batch * 2)
+				}
+				n := len(visited)
 
-	// Identify the sweep step at which the agent stood on its own initial
-	// position (displacement zero) and read everybody's position off the
-	// visited list: the slot visited at step j is step·j positions clockwise
-	// of the pre-sweep slot.
-	selfStep := -1
-	for j, v := range visited {
-		if ((v-0)%full+full)%full == 0 {
-			selfStep = j
-			break
+				// Identify the sweep step at which the agent stood on its own
+				// initial position (displacement zero) and read everybody's
+				// position off the visited list: the slot visited at step j is
+				// step·j positions clockwise of the pre-sweep slot.
+				selfStep := -1
+				for j, v := range visited {
+					if ((v-0)%full+full)%full == 0 {
+						selfStep = j
+						break
+					}
+				}
+				if selfStep < 0 {
+					return engine.Abort(fmt.Errorf("%w: own initial position was not visited", ErrProtocol))
+				}
+				inv := 1
+				if step == 2 {
+					inv = (n + 1) / 2 // inverse of 2 modulo odd n
+				}
+				positions := make([]int64, n)
+				for t := 0; t < n; t++ {
+					j := (selfStep + t*inv) % n
+					positions[t] = ((visited[j]-visited[selfStep])%full + full) % full
+				}
+				return k(&Result{
+					IsLeader:           coord.IsLeader,
+					N:                  n,
+					Positions:          positions,
+					RoundsCoordination: coordRounds,
+					RoundsDiscovery:    f.RoundsUsed() - coordRounds,
+				})
+			})
 		}
-	}
-	if selfStep < 0 {
-		return nil, fmt.Errorf("%w: own initial position was not visited", ErrProtocol)
-	}
-	inv := 1
-	if step == 2 {
-		inv = (n + 1) / 2 // inverse of 2 modulo odd n
-	}
-	positions := make([]int64, n)
-	for t := 0; t < n; t++ {
-		j := (selfStep + t*inv) % n
-		positions[t] = ((visited[j]-visited[selfStep])%full + full) % full
-	}
-	return &Result{
-		IsLeader:           coord.IsLeader,
-		N:                  n,
-		Positions:          positions,
-		RoundsCoordination: coordRounds,
-		RoundsDiscovery:    f.RoundsUsed() - coordRounds,
-	}, nil
+		return sweep(1)
+	})
 }
 
 // LowerBoundRounds returns the worst-case lower bound of Lemma 6 on the

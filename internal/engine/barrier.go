@@ -40,6 +40,7 @@ type batch struct {
 	dirs       []ring.Direction
 	k          int
 	trace      []ring.Observation
+	sum        bool // aggregate mode: settle resumes with Sum instead of Obs
 	stop       bool
 	stopTarget int64
 	objDisp    int64
@@ -103,36 +104,28 @@ type dispatcher interface {
 // context cancellation via abort) every present and future arrival returns
 // the same error immediately and no further round executes.
 type barrier struct {
-	nw   *Network
-	full int64 // circumference in half-ticks
+	// leapExec holds the pending-batch slots and the crossing executor shared
+	// with the v3 scheduler (exec.go); the barrier wraps it in the countdown,
+	// hand-off lock and per-agent release machinery below.
+	leapExec
 
 	remaining atomic.Int32          // active agents yet to arrive this crossing
 	xlock     atomic.Bool           // crossing hand-off lock (see executeLeap)
 	failErr   atomic.Pointer[error] // sticky run failure
 
-	pend      []pending        // submission slots by ring index
-	submitted []bool           // whether agent i has an unconsumed batch
-	dirs      []ring.Direction // objective direction by ring index, per stretch
-	out       ring.Outcome     // single-round stretch buffer
-	leap      ring.LeapOutcome // multi-round stretch buffer
-	complete  []atomic.Bool    // whether agent i's batch has finished
-	parked    []atomic.Bool    // whether agent i blocked past the spin phase
-	wake      []chan struct{}  // per-agent release tokens (cap 2: round + abort)
+	complete []atomic.Bool   // whether agent i's batch has finished
+	parked   []atomic.Bool   // whether agent i blocked past the spin phase
+	wake     []chan struct{} // per-agent release tokens (cap 2: round + abort)
 }
 
 func newBarrier(nw *Network) *barrier {
 	n := nw.N()
 	b := &barrier{
-		nw:        nw,
-		full:      nw.state.FullCircle(),
-		pend:      make([]pending, n),
-		submitted: make([]bool, n),
-		dirs:      make([]ring.Direction, n),
-		complete:  make([]atomic.Bool, n),
-		parked:    make([]atomic.Bool, n),
-		wake:      make([]chan struct{}, n),
+		complete: make([]atomic.Bool, n),
+		parked:   make([]atomic.Bool, n),
+		wake:     make([]chan struct{}, n),
 	}
-	b.out.Agents = make([]ring.Observation, n)
+	b.leapExec.init(nw)
 	for i := range b.wake {
 		b.wake[i] = make(chan struct{}, 2)
 	}
@@ -266,151 +259,16 @@ func (b *barrier) executeLeap(selfIdx int) (err error) {
 			err = b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, b.nw.broken))
 		}
 	}()
-	if testHookExecuteRound != nil {
-		testHookExecuteRound()
+	active, err := b.crossing()
+	if err != nil {
+		return b.fail(err)
+	}
+	if active == 0 {
+		// Every agent has left; the run is over and nobody is waiting.
+		return nil
 	}
 	nw := b.nw
 	n := len(b.pend)
-
-	// The leap length is the minimum remaining count across pending batches;
-	// agents that left get their default direction, constant for the whole
-	// crossing.
-	active, kmin := 0, 0
-	for i := 0; i < n; i++ {
-		if !b.submitted[i] {
-			b.dirs[i] = nw.objectiveDir(i, ring.Clockwise)
-			continue
-		}
-		active++
-		if k := b.pend[i].k - b.pend[i].pos; active == 1 || k < kmin {
-			kmin = k
-		}
-	}
-	if active == 0 {
-		// Every agent has left; the run is over and nobody is waiting.  This
-		// must precede the error checks: a protocol that terminates after
-		// consuming exactly the round budget has not exceeded anything.
-		return nil
-	}
-	if nw.state.Rounds() >= nw.cfg.MaxRounds {
-		return b.fail(fmt.Errorf("%w (%d)", ErrMaxRoundsExceed, nw.cfg.MaxRounds))
-	}
-	if nw.broken != nil {
-		return b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, nw.broken))
-	}
-	if budget := nw.cfg.MaxRounds - nw.state.Rounds(); kmin > budget {
-		// The round budget ends inside the leap.  Execute what fits — keeping
-		// the state's round count identical to the per-round path — and let
-		// the completion scan below fail the run if no batch fits the budget.
-		kmin = budget
-	}
-
-	// Execute the leap in stretches over which every agent's direction is
-	// constant, so each stretch is a single closed-form step.
-	for done := 0; done < kmin; {
-		stretch := kmin - done
-		for i := 0; i < n; i++ {
-			if !b.submitted[i] {
-				continue // default direction, already constant in b.dirs[i]
-			}
-			p := &b.pend[i]
-			if p.dirs == nil {
-				b.dirs[i] = p.dir
-				continue
-			}
-			// p.pos is kept current across stretches, so it is the cursor
-			// into the schedule.
-			d := p.dirs[p.pos]
-			b.dirs[i] = d
-			run := 1
-			for run < stretch && p.dirs[p.pos+run] == d {
-				run++
-			}
-			if run < stretch {
-				stretch = run
-			}
-		}
-		// Armed stop conditions clamp the stretch so no batch overshoots the
-		// round its per-round equivalent would have stopped at.
-		r := ring.RotationIndex(n, b.dirs)
-		for i := 0; i < n; i++ {
-			if b.submitted[i] && b.pend[i].stop {
-				p := &b.pend[i]
-				if j := nw.state.StopRound(nw.state.Slot(i), r, p.objDisp, p.stopTarget, stretch); j > 0 && j < stretch {
-					stretch = j
-				}
-			}
-		}
-
-		if stretch == 1 {
-			if err := nw.state.ExecuteRoundInto(b.dirs, &b.out); err != nil {
-				nw.broken = err
-				return b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, err))
-			}
-			for i := 0; i < n; i++ {
-				if !b.submitted[i] {
-					continue
-				}
-				p := &b.pend[i]
-				obs := b.out.Agents[i]
-				if p.trace != nil {
-					p.trace[p.pos] = obs
-				}
-				p.agg += obs.DistCW
-				if p.agg >= b.full {
-					p.agg -= b.full
-				}
-				p.objDisp += obs.DistCW
-				if p.objDisp >= b.full {
-					p.objDisp -= b.full
-				}
-				p.pos++
-			}
-		} else {
-			if err := nw.state.ExecuteRoundsInto(b.dirs, stretch, &b.leap); err != nil {
-				nw.broken = err
-				return b.fail(fmt.Errorf("%w: %w", ErrNetworkBroken, err))
-			}
-			for i := 0; i < n; i++ {
-				if !b.submitted[i] {
-					continue
-				}
-				p := &b.pend[i]
-				if p.trace != nil {
-					for j := 0; j < stretch; j++ {
-						p.trace[p.pos+j] = b.leap.Observe(i, j)
-					}
-				}
-				delta := b.leap.Displacement(i, stretch)
-				p.agg = (p.agg + delta) % b.full
-				p.objDisp = (p.objDisp + delta) % b.full
-				p.pos += stretch
-			}
-		}
-		// A batch whose stop condition just hit is complete regardless of its
-		// remaining count; the stretch was clamped so the hit is exactly at
-		// the stretch boundary.  An early stop also ends the whole crossing:
-		// the model needs every agent to act in every round, so no further
-		// round can execute until the stopped agent submits again (or
-		// leaves).
-		stopped := false
-		for i := 0; i < n; i++ {
-			if b.submitted[i] {
-				if p := &b.pend[i]; p.stop && p.pos < p.k && p.objDisp == p.stopTarget {
-					p.k = p.pos
-					stopped = true
-				}
-			}
-		}
-		done += stretch
-		ctrRounds.Add(uint64(stretch))
-		if stopped {
-			break
-		}
-	}
-	if c := ctrCrossings.Add(1); c&leapSampleMask == 0 {
-		emitLeapSample(c)
-	}
 
 	// Release phase.  Count completions first and re-arm the countdown before
 	// the first complete flag is set: a released agent may resubmit (and

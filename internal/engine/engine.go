@@ -1,22 +1,28 @@
 // Package engine provides the synchronous distributed runtime on which the
 // paper's protocols execute.
 //
-// Every agent runs as its own goroutine and only interacts with the world
-// through its Agent handle: it knows its unique identifier, the identifier
-// bound N, the parity of n and nothing else.  Calling Agent.Round submits the
-// direction the agent chooses for the next round (expressed in the agent's
-// own, private sense of direction) and blocks until every agent has chosen;
-// the round then executes on the exact analytic engine (internal/ring) and
-// each agent receives its observation, translated back into its own frame.
+// An agent only interacts with the world through its Agent handle: it knows
+// its unique identifier, the identifier bound N, the parity of n and nothing
+// else.  Submitting a direction (expressed in the agent's own, private sense
+// of direction) schedules the next round; the round executes on the exact
+// analytic engine (internal/ring) once every agent has chosen, and each agent
+// receives its observation translated back into its own frame.  That
+// rendezvous is what the round-based model of the paper calls a "synchronised
+// round".
 //
-// The barrier at which the agents meet is what the round-based model of the
-// paper calls a "synchronised round".  The v2 runtime dispatches rounds
-// directly: the last agent to arrive at the barrier executes the round inline
-// and releases the others with one broadcast (see barrier.go), agent
-// goroutines are pooled across runs (see gopool.go), and RunContext threads a
-// context through the round loop so cancellation interrupts an in-flight run
-// within one round.  The original coordinator-goroutine runtime is retained
-// as RunLegacy (legacy.go) as a differential-testing and benchmark baseline.
+// Three runtimes implement it, sharing one crossing executor (exec.go) so
+// their round sequences are byte-identical:
+//
+//   - v3 scheduler (sched.go, RunFSM/RunFSMContext): the default.  Protocols
+//     are resumable state machines (fsm.go); one scheduler goroutine per
+//     scenario steps every machine to its next yield and executes crossings
+//     inline — no goroutine per agent, no barrier, no mutexes.
+//   - v2 barrier (barrier.go, RunBarrier/RunBarrierContext, also reachable as
+//     Run/RunContext): one pooled goroutine per agent (gopool.go) meeting at
+//     an atomic-countdown barrier; the last arriver executes the crossing.
+//   - v1 legacy (legacy.go, RunLegacy): the original coordinator-goroutine,
+//     channel-rendezvous runtime, retained as the differential-testing and
+//     benchmark baseline.
 package engine
 
 import (
@@ -123,6 +129,14 @@ type Network struct {
 	idToIdx map[int]int
 	barrier *barrier
 
+	// crossings counts the barrier crossings (leap batches) executed on this
+	// network, cumulative across runs like the round count.  Single-writer:
+	// only the goroutine currently executing a crossing increments it (the
+	// barrier's countdown + hand-off lock, the scheduler's single goroutine
+	// and the legacy coordinator each guarantee that), ordered by the same
+	// synchronisation that orders the ring state itself.
+	crossings int
+
 	mu      sync.Mutex // guards running and (between runs) broken
 	running bool
 	broken  error
@@ -148,8 +162,18 @@ type Agent struct {
 	// executor-written objective observations, dirBuf holds the objective
 	// translation of a schedule.  Both stay stable while the agent is blocked
 	// in the dispatcher, which is the only time the executor reads them.
+	// resBuf holds the own-frame translation of the trace a machine is resumed
+	// with (fsm.go); it is valid until the machine's next yield.
 	objBuf []ring.Observation
 	dirBuf []ring.Direction
+	resBuf []Observation
+
+	// pend is the agent's single pending-batch slot: the Yield* builders
+	// (fsm.go) write the next submission here and return a handle to it, so a
+	// yield travels through the CPS frames as three words instead of a full
+	// batch copy.  At most one yield per agent is in flight, so one slot
+	// suffices.
+	pend batch
 }
 
 // New validates cfg and builds the network.
@@ -186,8 +210,10 @@ func New(cfg Config) (*Network, error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
+	// The barrier is built lazily on the first blocking run (ensureBarrier):
+	// a network that only ever runs on the FSM scheduler never pays for the
+	// barrier's per-agent slots and wake channels.
 	nw := &Network{cfg: cfg, state: st, idToIdx: idToIdx}
-	nw.barrier = newBarrier(nw)
 	nw.agents = make([]*Agent, n)
 	for i := 0; i < n; i++ {
 		nw.agents[i] = &Agent{
@@ -204,6 +230,94 @@ func New(cfg Config) (*Network, error) {
 	return nw, nil
 }
 
+// Reset re-initialises the network in place for a new configuration, reusing
+// the ring state, agent objects (with their grown scratch buffers), ID index
+// and barrier of the previous one.  It validates exactly like New.  On error
+// the network may be left partially updated and must be discarded; Reset is
+// for scenario sweeps over trusted generators, where rebuilding a complete
+// network object per scenario is pure allocation overhead.  Reset must not be
+// called while a run is in flight.
+func (nw *Network) Reset(cfg Config) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.running {
+		return ErrRunInProgress
+	}
+	if err := nw.state.Reset(ring.Config{
+		Model:      cfg.Model,
+		Circ:       cfg.Circ,
+		Positions:  cfg.Positions,
+		AllowSmall: cfg.AllowSmall,
+	}); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	n := len(cfg.Positions)
+	if len(cfg.IDs) != n {
+		return fmt.Errorf("%w: got %d IDs for %d agents", ErrBadIDs, len(cfg.IDs), n)
+	}
+	if cfg.IDBound < n {
+		return fmt.Errorf("%w: IDBound %d < n %d", ErrBadIDs, cfg.IDBound, n)
+	}
+	clear(nw.idToIdx)
+	for i, id := range cfg.IDs {
+		if id < 1 || id > cfg.IDBound {
+			return fmt.Errorf("%w: ID %d out of range", ErrBadIDs, id)
+		}
+		if _, dup := nw.idToIdx[id]; dup {
+			return fmt.Errorf("%w: duplicate ID %d", ErrBadIDs, id)
+		}
+		nw.idToIdx[id] = i
+	}
+	if cfg.Chirality != nil && len(cfg.Chirality) != n {
+		return ErrBadChirality
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	nw.cfg = cfg
+	nw.crossings = 0
+	nw.broken = nil
+	if cap(nw.agents) < n {
+		old := nw.agents
+		nw.agents = make([]*Agent, n)
+		copy(nw.agents, old[:cap(old)])
+	}
+	nw.agents = nw.agents[:n]
+	for i := 0; i < n; i++ {
+		a := nw.agents[i]
+		if a == nil {
+			a = &Agent{nw: nw, idx: i}
+			nw.agents[i] = a
+		}
+		a.d = nil
+		a.id = cfg.IDs[i]
+		a.idBound = cfg.IDBound
+		a.parity = nw.parity()
+		a.model = cfg.Model
+		a.chirality = nw.ChiralityOf(i)
+		a.fullCircle = nw.state.FullCircle()
+		a.rounds = 0
+		a.disp = 0
+		a.pend = batch{} // drop stale trace/schedule pointers
+	}
+	return nil
+}
+
+// ensureBarrier returns the network's barrier, building it on first blocking
+// use and re-pointing (or, after a Reset grew the network, rebuilding) it
+// otherwise.  The FSM runtime never calls it, so networks driven only by the
+// scheduler skip the barrier's slots and wake channels entirely.
+func (nw *Network) ensureBarrier() *barrier {
+	if nw.barrier == nil || len(nw.barrier.complete) < nw.N() {
+		nw.barrier = newBarrier(nw)
+	} else {
+		// Re-point the executor at the (possibly Reset) network state and
+		// resize its slots; init reuses capacity, so this is allocation-free.
+		nw.barrier.leapExec.init(nw)
+	}
+	return nw.barrier
+}
+
 // N returns the number of agents (not revealed to protocols).
 func (nw *Network) N() int { return len(nw.cfg.Positions) }
 
@@ -215,6 +329,12 @@ func (nw *Network) Circ() int64 { return nw.cfg.Circ }
 
 // Rounds returns the number of rounds executed so far.
 func (nw *Network) Rounds() int { return nw.state.Rounds() }
+
+// Crossings returns the number of barrier crossings (leap batches) executed
+// so far; rounds/crossings is the mean leap length.  Like Rounds it
+// accumulates across sequential runs and must not be read concurrently with
+// one.
+func (nw *Network) Crossings() int { return nw.crossings }
 
 // IDOf returns the ID of the agent with ring index i.
 func (nw *Network) IDOf(i int) int { return nw.cfg.IDs[i] }
@@ -331,7 +451,7 @@ func RunContext[T any](ctx context.Context, nw *Network, protocol func(a *Agent)
 
 	n := nw.N()
 	startRounds := nw.state.Rounds()
-	b := nw.barrier
+	b := nw.ensureBarrier()
 	b.reset(n)
 
 	outputs := make([]T, n)
@@ -376,6 +496,17 @@ func RunContext[T any](ctx context.Context, nw *Network, protocol func(a *Agent)
 
 	res := &Result[T]{Rounds: nw.state.Rounds() - startRounds, Outputs: outputs}
 	return res, joinRunErrors(nw, b.runErr(), errs)
+}
+
+// RunBarrier is the canonical name of the v2 barrier runtime's entry point;
+// Run is the same runtime (kept as the facade's blocking workhorse).
+func RunBarrier[T any](nw *Network, protocol func(a *Agent) (T, error)) (*Result[T], error) {
+	return Run(nw, protocol)
+}
+
+// RunBarrierContext is RunBarrier with cancellation; see RunContext.
+func RunBarrierContext[T any](ctx context.Context, nw *Network, protocol func(a *Agent) (T, error)) (*Result[T], error) {
+	return RunContext(ctx, nw, protocol)
 }
 
 // joinRunErrors merges the run-level error (max rounds, broken state,

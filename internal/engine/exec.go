@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"fmt"
+
+	"ringsym/internal/ring"
+)
+
+// leapExec is the runtime-independent crossing executor: the pending-batch
+// slots plus the stretch/stop/budget loop that executes one barrier crossing
+// on the analytic engine.  The v2 barrier embeds it behind its countdown and
+// hand-off lock (barrier.go); the v3 scheduler drives it inline from its
+// single goroutine (sched.go).  Keeping the loop in one place is what makes
+// the two runtimes execute byte-identical round sequences: the leap length,
+// the stretch splits, the closed-form stop clamping and the per-agent
+// accounting are literally the same code.
+//
+// Ownership contract: between the moment a crossing starts and the moment the
+// caller hands completed slots back to their agents, the executing goroutine
+// is the only one touching pend, submitted and the shared ring state.  The
+// barrier guarantees this with its countdown + xlock; the scheduler trivially,
+// by having only one goroutine.
+type leapExec struct {
+	nw   *Network
+	full int64 // circumference in half-ticks
+
+	pend      []pending        // submission slots by ring index
+	submitted []bool           // whether agent i has an unconsumed batch
+	dirs      []ring.Direction // objective direction by ring index, per stretch
+	out       ring.Outcome     // single-round stretch buffer
+	leap      ring.LeapOutcome // multi-round stretch buffer
+}
+
+// init points the executor at nw and (re)sizes its slots to the network's
+// agent count, reusing capacity across networks of at most the previous size.
+func (e *leapExec) init(nw *Network) {
+	n := nw.N()
+	e.nw = nw
+	e.full = nw.state.FullCircle()
+	if cap(e.pend) < n {
+		e.pend = make([]pending, n)
+		e.submitted = make([]bool, n)
+		e.dirs = make([]ring.Direction, n)
+		e.out.Agents = make([]ring.Observation, n)
+	}
+	e.pend = e.pend[:n]
+	e.submitted = e.submitted[:n]
+	e.dirs = e.dirs[:n]
+	e.out.Agents = e.out.Agents[:n]
+	for i := 0; i < n; i++ {
+		e.pend[i] = pending{} // drop stale trace/schedule pointers
+		e.submitted[i] = false
+	}
+}
+
+// crossing executes one crossing: the minimum remaining round count over all
+// pending batches, in constant-direction stretches, filling in the default
+// direction (the agent's own clockwise) for agents that are no longer
+// submitting.  It returns the number of pending batches (0 means every agent
+// has left and nothing executed) and the run failure, fully wrapped, when the
+// round budget is exhausted, the network is broken or the analytic engine
+// rejects a round.  Panics in the analytic engine propagate; callers convert
+// them into a broken-network failure.
+func (e *leapExec) crossing() (active int, err error) {
+	if testHookExecuteRound != nil {
+		testHookExecuteRound()
+	}
+	nw := e.nw
+	n := len(e.pend)
+
+	// The leap length is the minimum remaining count across pending batches;
+	// agents that left get their default direction, constant for the whole
+	// crossing.
+	kmin := 0
+	for i := 0; i < n; i++ {
+		if !e.submitted[i] {
+			e.dirs[i] = nw.objectiveDir(i, ring.Clockwise)
+			continue
+		}
+		active++
+		if k := e.pend[i].k - e.pend[i].pos; active == 1 || k < kmin {
+			kmin = k
+		}
+	}
+	if active == 0 {
+		// Every agent has left; the run is over and nobody is waiting.  This
+		// must precede the error checks: a protocol that terminates after
+		// consuming exactly the round budget has not exceeded anything.
+		return 0, nil
+	}
+	if nw.state.Rounds() >= nw.cfg.MaxRounds {
+		return active, fmt.Errorf("%w (%d)", ErrMaxRoundsExceed, nw.cfg.MaxRounds)
+	}
+	if nw.broken != nil {
+		return active, fmt.Errorf("%w: %w", ErrNetworkBroken, nw.broken)
+	}
+	if budget := nw.cfg.MaxRounds - nw.state.Rounds(); kmin > budget {
+		// The round budget ends inside the leap.  Execute what fits — keeping
+		// the state's round count identical to the per-round path — and let
+		// the caller's completion scan fail the run if no batch fits the
+		// budget.
+		kmin = budget
+	}
+
+	// Execute the leap in stretches over which every agent's direction is
+	// constant, so each stretch is a single closed-form step.
+	for done := 0; done < kmin; {
+		stretch := kmin - done
+		for i := 0; i < n; i++ {
+			if !e.submitted[i] {
+				continue // default direction, already constant in e.dirs[i]
+			}
+			p := &e.pend[i]
+			if p.dirs == nil {
+				e.dirs[i] = p.dir
+				continue
+			}
+			// p.pos is kept current across stretches, so it is the cursor
+			// into the schedule.
+			d := p.dirs[p.pos]
+			e.dirs[i] = d
+			run := 1
+			for run < stretch && p.dirs[p.pos+run] == d {
+				run++
+			}
+			if run < stretch {
+				stretch = run
+			}
+		}
+		// Armed stop conditions clamp the stretch so no batch overshoots the
+		// round its per-round equivalent would have stopped at.
+		r := ring.RotationIndex(n, e.dirs)
+		for i := 0; i < n; i++ {
+			if e.submitted[i] && e.pend[i].stop {
+				p := &e.pend[i]
+				if j := nw.state.StopRound(nw.state.Slot(i), r, p.objDisp, p.stopTarget, stretch); j > 0 && j < stretch {
+					stretch = j
+				}
+			}
+		}
+
+		if stretch == 1 {
+			if err := nw.state.ExecuteRoundInto(e.dirs, &e.out); err != nil {
+				nw.broken = err
+				return active, fmt.Errorf("%w: %w", ErrNetworkBroken, err)
+			}
+			for i := 0; i < n; i++ {
+				if !e.submitted[i] {
+					continue
+				}
+				p := &e.pend[i]
+				obs := e.out.Agents[i]
+				if p.trace != nil {
+					p.trace[p.pos] = obs
+				}
+				p.agg += obs.DistCW
+				if p.agg >= e.full {
+					p.agg -= e.full
+				}
+				p.objDisp += obs.DistCW
+				if p.objDisp >= e.full {
+					p.objDisp -= e.full
+				}
+				p.pos++
+			}
+		} else {
+			if err := nw.state.ExecuteRoundsInto(e.dirs, stretch, &e.leap); err != nil {
+				nw.broken = err
+				return active, fmt.Errorf("%w: %w", ErrNetworkBroken, err)
+			}
+			for i := 0; i < n; i++ {
+				if !e.submitted[i] {
+					continue
+				}
+				p := &e.pend[i]
+				if p.trace != nil {
+					for j := 0; j < stretch; j++ {
+						p.trace[p.pos+j] = e.leap.Observe(i, j)
+					}
+				}
+				delta := e.leap.Displacement(i, stretch)
+				p.agg = (p.agg + delta) % e.full
+				p.objDisp = (p.objDisp + delta) % e.full
+				p.pos += stretch
+			}
+		}
+		// A batch whose stop condition just hit is complete regardless of its
+		// remaining count; the stretch was clamped so the hit is exactly at
+		// the stretch boundary.  An early stop also ends the whole crossing:
+		// the model needs every agent to act in every round, so no further
+		// round can execute until the stopped agent submits again (or
+		// leaves).
+		stopped := false
+		for i := 0; i < n; i++ {
+			if e.submitted[i] {
+				if p := &e.pend[i]; p.stop && p.pos < p.k && p.objDisp == p.stopTarget {
+					p.k = p.pos
+					stopped = true
+				}
+			}
+		}
+		done += stretch
+		ctrRounds.Add(uint64(stretch))
+		if stopped {
+			break
+		}
+	}
+	nw.crossings++
+	if c := ctrCrossings.Add(1); c&leapSampleMask == 0 {
+		emitLeapSample(c)
+	}
+	return active, nil
+}

@@ -1,0 +1,365 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ringsym/internal/ring"
+)
+
+// The tests in this file pin the v3 scheduler runtime: machines built from
+// the same generated scripts as leap_test.go must produce byte-identical
+// traces, outputs, round counts and crossing counts on RunFSM, on the v2
+// barrier (both as blocking calls and as RunMachine over the same machines)
+// and on the v1 legacy runtime.
+
+// scriptMachine is the machine form of batchedProtocol: the same generated
+// script executed through the yield builders, one yield per op.
+func scriptMachine(seed int64, ops int) func(a *Agent) *Proto[leapTrace] {
+	return func(a *Agent) *Proto[leapTrace] {
+		return NewProto(func(done func(leapTrace, error) (Yield, Cont)) (Yield, Cont) {
+			script := scriptFor(a.ID(), seed, a.Model(), a.FullCircle(), ops)
+			var tr leapTrace
+			var step func(i int) (Yield, Cont)
+			step = func(i int) (Yield, Cont) {
+				if i == len(script) {
+					tr.disp = a.Displacement()
+					tr.used = a.RoundsUsed()
+					return done(tr, nil)
+				}
+				op := script[i]
+				var y Yield
+				switch op.kind {
+				case 0:
+					y = a.YieldRound(op.dir)
+				case 1:
+					y = a.YieldRoundN(op.dir, op.k)
+				case 2:
+					y = a.YieldSchedule(op.dirs)
+				case 3:
+					y = a.YieldRoundSum(op.dir, op.k)
+				case 4:
+					y = a.YieldRoundUntil(op.dir, op.target, op.k)
+				}
+				return y, func(in Resume) (Yield, Cont) {
+					if op.kind == 3 {
+						tr.sums = append(tr.sums, in.Sum)
+					} else {
+						tr.obs = append(tr.obs, in.Obs...)
+					}
+					return step(i + 1)
+				}
+			}
+			return step(0)
+		})
+	}
+}
+
+// TestFSMSchedulerEquivalence is the randomized differential test of the v3
+// runtime: generated mixed-op scripts across all three models, both chirality
+// regimes and both parities, executed four ways — v3 scheduler, v2 barrier
+// (blocking calls), v2 barrier driving the machines via RunMachine, v1 legacy
+// — with byte-identical traces, equal round counts, equal v2/v3 crossing
+// counts and the v1 crossings-equal-rounds invariant.
+func TestFSMSchedulerEquivalence(t *testing.T) {
+	for _, model := range []ring.Model{ring.Basic, ring.Lazy, ring.Perceptive} {
+		for _, oddN := range []bool{false, true} {
+			for _, mixed := range []bool{false, true} {
+				name := fmt.Sprintf("%v/odd=%v/mixed=%v", model, oddN, mixed)
+				t.Run(name, func(t *testing.T) {
+					for trial := 0; trial < 8; trial++ {
+						seed := int64(1000*trial) + 4242
+						rng := rand.New(rand.NewSource(seed))
+						cfg := leapTestConfig(rng, model, oddN, mixed)
+						build := func() *Network {
+							nw, err := New(cfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							return nw
+						}
+						const ops = 12
+
+						nwF, nwB, nwM, nwL := build(), build(), build(), build()
+						fsm, errF := RunFSM(nwF, scriptMachine(seed, ops))
+						barrier, errB := Run(nwB, batchedProtocol(seed, ops))
+						machined, errM := Run(nwM, func(a *Agent) (leapTrace, error) {
+							return RunMachine(a, scriptMachine(seed, ops)(a))
+						})
+						legacy, errL := RunLegacy(nwL, batchedProtocol(seed, ops))
+						if errF != nil || errB != nil || errM != nil || errL != nil {
+							t.Fatalf("trial %d: errors fsm=%v barrier=%v machined=%v legacy=%v",
+								trial, errF, errB, errM, errL)
+						}
+						if fsm.Rounds != barrier.Rounds || fsm.Rounds != machined.Rounds || fsm.Rounds != legacy.Rounds {
+							t.Fatalf("trial %d: rounds fsm=%d barrier=%d machined=%d legacy=%d",
+								trial, fsm.Rounds, barrier.Rounds, machined.Rounds, legacy.Rounds)
+						}
+						for i := range fsm.Outputs {
+							if !fsm.Outputs[i].equal(barrier.Outputs[i]) {
+								t.Fatalf("trial %d agent %d: fsm != barrier\nfsm:     %+v\nbarrier: %+v",
+									trial, i, fsm.Outputs[i], barrier.Outputs[i])
+							}
+							if !fsm.Outputs[i].equal(machined.Outputs[i]) {
+								t.Fatalf("trial %d agent %d: fsm != machine-on-barrier", trial, i)
+							}
+							if !fsm.Outputs[i].equal(legacy.Outputs[i]) {
+								t.Fatalf("trial %d agent %d: fsm != legacy", trial, i)
+							}
+						}
+						// The scheduler and the barrier share the crossing
+						// executor, so their leap decomposition is identical;
+						// legacy dispatches per round by design.
+						if nwF.Crossings() != nwB.Crossings() || nwF.Crossings() != nwM.Crossings() {
+							t.Fatalf("trial %d: crossings fsm=%d barrier=%d machined=%d",
+								trial, nwF.Crossings(), nwB.Crossings(), nwM.Crossings())
+						}
+						if nwL.Crossings() != nwL.Rounds() {
+							t.Fatalf("trial %d: legacy crossings %d != rounds %d",
+								trial, nwL.Crossings(), nwL.Rounds())
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFSMBatchReuse pins the WithBatch path: sequential scenarios through one
+// worker-held Batch produce the same results as pool-backed runs.
+func TestFSMBatchReuse(t *testing.T) {
+	arena := NewBatch()
+	ctx := WithBatch(context.Background(), arena)
+	for trial := 0; trial < 6; trial++ {
+		seed := int64(31*trial) + 7
+		rng := rand.New(rand.NewSource(seed))
+		cfg := leapTestConfig(rng, ring.Perceptive, trial%2 == 0, true)
+		build := func() *Network {
+			nw, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nw
+		}
+		const ops = 9
+		shared, errS := RunFSMContext(ctx, build(), scriptMachine(seed, ops))
+		pooled, errP := RunFSM(build(), scriptMachine(seed, ops))
+		if errS != nil || errP != nil {
+			t.Fatalf("trial %d: errors shared=%v pooled=%v", trial, errS, errP)
+		}
+		for i := range shared.Outputs {
+			if !shared.Outputs[i].equal(pooled.Outputs[i]) {
+				t.Fatalf("trial %d agent %d: shared-arena run differs from pooled run", trial, i)
+			}
+		}
+	}
+}
+
+// TestFSMValidationAborts pins the abort channel: invalid yield parameters
+// terminate the machine with the same error values the blocking API returns,
+// without consuming rounds.
+func TestFSMValidationAborts(t *testing.T) {
+	cases := []struct {
+		name  string
+		yield func(a *Agent) Yield
+		want  error
+	}{
+		{"zero count", func(a *Agent) Yield { return a.YieldRoundN(ring.Clockwise, 0) }, ring.ErrBadRoundCount},
+		{"idle in basic", func(a *Agent) Yield { return a.YieldRound(ring.Idle) }, ErrIdleNotAllowed},
+		{"empty schedule", func(a *Agent) Yield { return a.YieldSchedule(nil) }, ring.ErrBadRoundCount},
+		{"negative sum count", func(a *Agent) Yield { return a.YieldRoundSum(ring.Clockwise, -1) }, ring.ErrBadRoundCount},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := New(testConfig(ring.Basic, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = RunFSM(nw, func(a *Agent) *Proto[struct{}] {
+				return NewProto(func(done func(struct{}, error) (Yield, Cont)) (Yield, Cont) {
+					return tc.yield(a), func(Resume) (Yield, Cont) { return done(struct{}{}, nil) }
+				})
+			})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			if nw.Rounds() != 0 {
+				t.Fatalf("aborted validation consumed %d rounds", nw.Rounds())
+			}
+		})
+	}
+
+	// RoundUntil's target range check.
+	nw, err := New(testConfig(ring.Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFSM(nw, func(a *Agent) *Proto[struct{}] {
+		return NewProto(func(done func(struct{}, error) (Yield, Cont)) (Yield, Cont) {
+			return a.YieldRoundUntil(ring.Clockwise, -2, 3), func(Resume) (Yield, Cont) { return done(struct{}{}, nil) }
+		})
+	}); err == nil {
+		t.Fatal("negative RoundUntil target accepted")
+	}
+}
+
+// TestFSMBudgetExhaustion pins ErrMaxRoundsExceed on the scheduler: the clamp
+// executes exactly the budgeted rounds, like the barrier.
+func TestFSMBudgetExhaustion(t *testing.T) {
+	cfg := testConfig(ring.Basic, nil)
+	cfg.MaxRounds = 5
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunFSM(nw, func(a *Agent) *Proto[struct{}] {
+		return NewProto(func(done func(struct{}, error) (Yield, Cont)) (Yield, Cont) {
+			return a.YieldRoundN(ring.Clockwise, 9), func(in Resume) (Yield, Cont) {
+				return done(struct{}{}, nil)
+			}
+		})
+	})
+	if !errors.Is(err, ErrMaxRoundsExceed) {
+		t.Fatalf("got %v, want ErrMaxRoundsExceed", err)
+	}
+	if nw.Rounds() != 5 {
+		t.Fatalf("state executed %d rounds, want the full budget of 5", nw.Rounds())
+	}
+}
+
+// TestFSMStepPanic pins panic containment: a panicking continuation fails its
+// own machine with ErrProtocolPanic while the other machines finish normally.
+func TestFSMStepPanic(t *testing.T) {
+	nw, err := New(testConfig(ring.Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFSM(nw, func(a *Agent) *Proto[int] {
+		return NewProto(func(done func(int, error) (Yield, Cont)) (Yield, Cont) {
+			return a.YieldRound(ring.Clockwise), func(in Resume) (Yield, Cont) {
+				if a.ID() == 1 {
+					panic("machine meltdown")
+				}
+				return done(a.RoundsUsed(), nil)
+			}
+		})
+	})
+	if !errors.Is(err, ErrProtocolPanic) {
+		t.Fatalf("got %v, want ErrProtocolPanic", err)
+	}
+	for i, used := range res.Outputs {
+		if nw.IDOf(i) != 1 && used != 1 {
+			t.Errorf("agent %d: rounds used %d, want 1", i, used)
+		}
+	}
+}
+
+// TestFSMCancellation pins cancellation granularity: a cancel between
+// crossings fails every still-pending machine with the context error within
+// one crossing.
+func TestFSMCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	nw, err := New(testConfig(ring.Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunFSMContext(ctx, nw, func(a *Agent) *Proto[struct{}] {
+		return NewProto(func(done func(struct{}, error) (Yield, Cont)) (Yield, Cont) {
+			var loop func(in Resume) (Yield, Cont)
+			loop = func(in Resume) (Yield, Cont) {
+				if a.RoundsUsed() >= 3 && a.ID() == 1 {
+					cancel() // fires mid-run, from inside the scheduler goroutine
+				}
+				return a.YieldRound(ring.Clockwise), loop
+			}
+			return loop(Resume{})
+		})
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	// A context dead on arrival refuses to start at all.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	nw2, err := New(testConfig(ring.Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFSMContext(pre, nw2, func(a *Agent) *Proto[struct{}] {
+		return NewProto(func(done func(struct{}, error) (Yield, Cont)) (Yield, Cont) {
+			return done(struct{}{}, nil)
+		})
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: got %v, want context.Canceled", err)
+	}
+	if nw2.Rounds() != 0 {
+		t.Fatalf("pre-cancelled run executed %d rounds", nw2.Rounds())
+	}
+}
+
+// malformedMachine yields a continuation without a batch, which Proto forbids
+// and the scheduler must reject rather than wedge.
+type malformedMachine struct{ stepped bool }
+
+func (m *malformedMachine) Step(Resume) (Yield, bool) {
+	if m.stepped {
+		return Yield{}, true
+	}
+	m.stepped = true
+	return Yield{}, false
+}
+
+// TestFSMMalformedYield pins the scheduler's guard against hand-written
+// machines that yield without a round batch.
+func TestFSMMalformedYield(t *testing.T) {
+	nw, err := New(testConfig(ring.Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch()
+	b.prepare(nw)
+	if err := nw.beginRun(); err != nil {
+		t.Fatal(err)
+	}
+	defer nw.endRun()
+	for i := range b.machines {
+		b.machines[i] = &malformedMachine{}
+	}
+	if err := b.run(context.Background(), nw); err != nil {
+		t.Fatalf("run-level error %v, want per-machine step errors", err)
+	}
+	for i, err := range b.stepErr {
+		if err == nil {
+			t.Errorf("machine %d: malformed yield accepted", i)
+		}
+	}
+}
+
+// TestRuntimeResolve pins the default-runtime plumbing.
+func TestRuntimeResolve(t *testing.T) {
+	defer SetDefaultRuntime(RuntimeDefault)
+	if got := RuntimeDefault.Resolve(); got != RuntimeFSM {
+		t.Fatalf("built-in default resolved to %v, want fsm", got)
+	}
+	SetDefaultRuntime(RuntimeBarrier)
+	if got := RuntimeDefault.Resolve(); got != RuntimeBarrier {
+		t.Fatalf("overridden default resolved to %v, want barrier", got)
+	}
+	if got := RuntimeLegacy.Resolve(); got != RuntimeLegacy {
+		t.Fatalf("explicit runtime resolved to %v, want legacy", got)
+	}
+	SetDefaultRuntime(RuntimeDefault)
+	if got := RuntimeDefault.Resolve(); got != RuntimeFSM {
+		t.Fatalf("restored default resolved to %v, want fsm", got)
+	}
+	for rt, want := range map[Runtime]string{RuntimeDefault: "default", RuntimeFSM: "fsm", RuntimeBarrier: "barrier", RuntimeLegacy: "legacy"} {
+		if rt.String() != want {
+			t.Errorf("Runtime(%d).String() = %q, want %q", rt, rt.String(), want)
+		}
+	}
+}

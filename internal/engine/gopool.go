@@ -1,15 +1,31 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
-// The agent goroutine pool.  A campaign executes millions of short runs, and
-// spawning (and growing the stack of) n fresh goroutines per run is pure
-// overhead, so finished agent goroutines park themselves on a free list and
-// are handed the next run's protocol instead of exiting.  The pool is shared
-// by every Network in the process: its size is bounded by the peak number of
-// concurrently running agents, and workers beyond maxIdleWorkers exit once
-// their run completes instead of parking.
+// The engine goroutine pool.  A campaign executes millions of short runs, and
+// spawning (and growing the stack of) fresh goroutines per run is pure
+// overhead, so finished worker goroutines park themselves on a free list and
+// are handed the next run's work instead of exiting.  The pool is shared by
+// every Network in the process and backs all three runtimes: the v1/v2 agent
+// goroutines and the v3 scheduler goroutine all come from submit.
+//
+// Two mechanisms bound the pool.  Workers beyond maxIdleWorkers exit once
+// their job completes instead of parking, capping the peak free-list size.
+// And a parked worker that receives no job for workerIdleTimeout removes
+// itself from the free list and exits, so a process whose burst of engine work
+// is over drains back to zero pooled goroutines instead of pinning the peak
+// worker count forever.
 const maxIdleWorkers = 1 << 13
+
+// workerIdleTimeout is how long a parked worker waits for its next job before
+// draining from the pool, in nanoseconds.  Atomic so tests can shrink it.
+var workerIdleTimeout atomic.Int64
+
+func init() { workerIdleTimeout.Store(int64(30 * time.Second)) }
 
 var workerFreeList struct {
 	sync.Mutex
@@ -18,6 +34,14 @@ var workerFreeList struct {
 
 type worker struct {
 	jobs chan func()
+}
+
+// idleWorkerCount reports the number of workers currently parked on the free
+// list (test helper).
+func idleWorkerCount() int {
+	workerFreeList.Lock()
+	defer workerFreeList.Unlock()
+	return len(workerFreeList.free)
 }
 
 // submit runs job on a pooled goroutine, spawning a new one only when the
@@ -38,8 +62,41 @@ func submit(job func()) {
 	w.jobs <- job
 }
 
+// removeSelf takes the worker off the free list.  It returns false when the
+// worker is not on the list — a concurrent submit popped it, which means a
+// job send is in flight and the worker must serve it before exiting.
+func (w *worker) removeSelf() bool {
+	workerFreeList.Lock()
+	defer workerFreeList.Unlock()
+	for i, fw := range workerFreeList.free {
+		if fw == w {
+			last := len(workerFreeList.free) - 1
+			workerFreeList.free[i] = workerFreeList.free[last]
+			workerFreeList.free[last] = nil
+			workerFreeList.free = workerFreeList.free[:last]
+			return true
+		}
+	}
+	return false
+}
+
 func (w *worker) loop() {
-	for job := range w.jobs {
+	timer := time.NewTimer(time.Duration(workerIdleTimeout.Load()))
+	defer timer.Stop()
+	for {
+		var job func()
+		select {
+		case job = <-w.jobs:
+		case <-timer.C:
+			// Idle too long: drain.  Popping a worker from the free list and
+			// handing it the job are two steps, so a submit may have claimed
+			// this worker just as the timer fired; in that case we are no
+			// longer on the list, a job is owed, and we must serve it.
+			if w.removeSelf() {
+				return
+			}
+			job = <-w.jobs
+		}
 		job()
 		workerFreeList.Lock()
 		if len(workerFreeList.free) >= maxIdleWorkers {
@@ -48,5 +105,6 @@ func (w *worker) loop() {
 		}
 		workerFreeList.free = append(workerFreeList.free, w)
 		workerFreeList.Unlock()
+		timer.Reset(time.Duration(workerIdleTimeout.Load()))
 	}
 }

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// setIdleTimeout shrinks the drain timeout for the duration of a test.
+func setIdleTimeout(t *testing.T, d time.Duration) {
+	t.Helper()
+	old := workerIdleTimeout.Load()
+	workerIdleTimeout.Store(int64(d))
+	t.Cleanup(func() { workerIdleTimeout.Store(old) })
+}
+
+// churnPool touches every currently parked worker (plus a few fresh ones) by
+// holding that many jobs in flight at once, so that when they re-park their
+// idle timers are armed with the test's shrunk timeout rather than whatever
+// was in force when earlier tests parked them.
+func churnPool(t *testing.T) {
+	t.Helper()
+	n := idleWorkerCount() + 8
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		submit(func() {
+			defer wg.Done()
+			<-gate
+		})
+	}
+	close(gate)
+	wg.Wait()
+}
+
+// TestPoolDrainsWhenIdle pins the drain behaviour: once the engine goes
+// quiet, every parked worker times out, removes itself from the free list and
+// exits, so the pool returns to zero idle goroutines instead of pinning the
+// peak worker count for the life of the process.
+func TestPoolDrainsWhenIdle(t *testing.T) {
+	setIdleTimeout(t, 20*time.Millisecond)
+	churnPool(t)
+	if idleWorkerCount() == 0 {
+		t.Fatal("expected parked workers right after the burst")
+	}
+
+	deadline := time.After(5 * time.Second)
+	for idleWorkerCount() > 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("pool did not drain: %d workers still parked", idleWorkerCount())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestPoolReusesAfterDrain submits work after a full drain and checks it
+// still runs: draining must leave the pool in a state where submit simply
+// spawns fresh workers.
+func TestPoolReusesAfterDrain(t *testing.T) {
+	setIdleTimeout(t, 5*time.Millisecond)
+	churnPool(t)
+	deadline := time.After(5 * time.Second)
+	for idleWorkerCount() > 0 {
+		select {
+		case <-deadline:
+			t.Fatal("pool did not drain")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		submit(func() {
+			defer wg.Done()
+			ran.Add(1)
+		})
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("ran %d of 16 jobs after drain", got)
+	}
+}
+
+// TestPoolDrainSubmitRace hammers the narrow window where a submit pops a
+// worker off the free list at the same moment its idle timer fires: the
+// worker must notice it is owed a job and serve it instead of exiting.  Run
+// under -race this also checks the free-list synchronisation.
+func TestPoolDrainSubmitRace(t *testing.T) {
+	// A timeout this small makes nearly every park expire immediately, so
+	// most submits race a draining worker.
+	setIdleTimeout(t, time.Nanosecond)
+
+	var ran atomic.Int64
+	const jobs = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		submit(func() {
+			defer wg.Done()
+			ran.Add(1)
+		})
+		if i%64 == 0 {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != jobs {
+		t.Fatalf("ran %d of %d jobs", got, jobs)
+	}
+}

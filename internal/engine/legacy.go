@@ -176,6 +176,7 @@ func (nw *Network) coordinateLegacy(reqCh <-chan roundRequest, n int) error {
 			continue
 		}
 		ctrRounds.Add(1)
+		nw.crossings++
 		if c := ctrCrossings.Add(1); c&leapSampleMask == 0 {
 			emitLeapSample(c)
 		}

@@ -1,0 +1,56 @@
+package engine
+
+import "sync/atomic"
+
+// Runtime selects which of the engine's three runtimes executes a run.  The
+// zero value defers to the process-wide default, which is the v3 scheduler
+// unless SetDefaultRuntime overrode it — so callers holding a zero-valued
+// options struct get the fast runtime without naming it.
+type Runtime int8
+
+const (
+	// RuntimeDefault defers to the process-wide default runtime.
+	RuntimeDefault Runtime = iota
+	// RuntimeFSM is the v3 single-goroutine machine scheduler (sched.go).
+	RuntimeFSM
+	// RuntimeBarrier is the v2 goroutine-per-agent barrier runtime (barrier.go).
+	RuntimeBarrier
+	// RuntimeLegacy is the v1 channel-rendezvous runtime (legacy.go).
+	RuntimeLegacy
+)
+
+// defaultRuntime holds the process-wide default (a Runtime value); zero means
+// RuntimeFSM.
+var defaultRuntime atomic.Int32
+
+// SetDefaultRuntime changes the process-wide default runtime that
+// RuntimeDefault resolves to.  Passing RuntimeDefault restores the built-in
+// default (the v3 scheduler).  Benchmarks and A/B harnesses use this to flip
+// whole campaign stacks between runtimes without threading options through.
+func SetDefaultRuntime(rt Runtime) { defaultRuntime.Store(int32(rt)) }
+
+// Resolve maps RuntimeDefault to the process-wide default and returns every
+// other value unchanged.
+func (rt Runtime) Resolve() Runtime {
+	if rt != RuntimeDefault {
+		return rt
+	}
+	if d := Runtime(defaultRuntime.Load()); d != RuntimeDefault {
+		return d
+	}
+	return RuntimeFSM
+}
+
+// String implements fmt.Stringer.
+func (rt Runtime) String() string {
+	switch rt {
+	case RuntimeFSM:
+		return "fsm"
+	case RuntimeBarrier:
+		return "barrier"
+	case RuntimeLegacy:
+		return "legacy"
+	default:
+		return "default"
+	}
+}

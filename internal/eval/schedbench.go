@@ -1,0 +1,260 @@
+package eval
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"ringsym/internal/campaign"
+	"ringsym/internal/engine"
+	"ringsym/internal/ring"
+)
+
+// This file is the v3-scheduler A/B harness behind benchtables -sched: the
+// same two workloads (the constant-direction engine sweep and the small-n
+// campaign grid) measured under all three runtimes.  The arms are interleaved
+// — every repetition runs fsm, then barrier, then legacy, so thermal or
+// background drift lands on all arms equally — and the reported value is the
+// per-arm median.  BENCH_sched.json tracks the result across revisions; the
+// campaign fsm/barrier ratio is the scheduler's headline speedup.
+
+// SchedEntry is one runtime measurement in the -sched export.
+type SchedEntry struct {
+	// Workload is "sweep" (engine rounds/sec, per-round path) or "campaign"
+	// (whole-scenario throughput on the small-n grid, cache off).
+	Workload string `json:"workload"`
+	// Runtime is "fsm" (v3), "barrier" (v2) or "legacy" (v1).
+	Runtime string `json:"runtime"`
+	// N is the network size (sweep entries only).
+	N int `json:"n,omitempty"`
+	// Scenarios is the grid size (campaign entries only).
+	Scenarios int `json:"scenarios,omitempty"`
+	// Rounds is the per-agent round budget (sweep entries only).
+	Rounds int `json:"rounds,omitempty"`
+	// Reps is the number of interleaved repetitions behind the median.
+	Reps int `json:"reps"`
+	// Value is the median throughput in Unit.
+	Value float64 `json:"value"`
+	// Unit is "rounds/sec" or "scenarios/sec".
+	Unit string `json:"unit"`
+	// SpeedupVsBarrier is Value over the barrier arm's median for the same
+	// workload and N (set on non-barrier entries).
+	SpeedupVsBarrier float64 `json:"speedup_vs_barrier,omitempty"`
+}
+
+// SchedConfig shapes a MeasureSched run.  The zero value is the standard
+// small-n configuration the CI benchmark smoke and EXPERIMENTS.md use.
+type SchedConfig struct {
+	// SweepSizes are the network sizes of the rounds/sec workload; defaults
+	// to {8, 16}.
+	SweepSizes []int
+	// SweepRounds is the per-agent round budget of one sweep run; defaults
+	// to 20000.
+	SweepRounds int
+	// GridSizes are the campaign grid sizes (the paper artefacts' small-n
+	// grid); defaults to {8, 12, 16}.
+	GridSizes []int
+	// GridSeeds are the campaign grid seeds; defaults to {1, 2, 3}.
+	GridSeeds []int64
+	// Seed drives the sweep networks; defaults to 1.
+	Seed int64
+	// Reps is the number of interleaved repetitions; defaults to 5.
+	Reps int
+}
+
+func (c SchedConfig) filled() SchedConfig {
+	if len(c.SweepSizes) == 0 {
+		c.SweepSizes = []int{8, 16}
+	}
+	if c.SweepRounds == 0 {
+		c.SweepRounds = 20_000
+	}
+	if len(c.GridSizes) == 0 {
+		c.GridSizes = []int{8, 12, 16}
+	}
+	if len(c.GridSeeds) == 0 {
+		c.GridSeeds = []int64{1, 2, 3}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	return c
+}
+
+// schedRuntimes is the fixed arm order of one repetition.
+var schedRuntimes = []engine.Runtime{engine.RuntimeFSM, engine.RuntimeBarrier, engine.RuntimeLegacy}
+
+// EngineSweepMachine is the machine (v3) form of EngineSweepProtocol: the
+// identical constant-direction workload expressed as yields, so the fsm arm
+// of the sweep measures the scheduler against the exact per-round and leap
+// paths the other runtimes drive.
+func EngineSweepMachine(a *engine.Agent, rounds, batch int) *engine.Proto[int] {
+	dir := ring.Clockwise
+	if a.ID()%2 == 0 {
+		dir = ring.Anticlockwise
+	}
+	return engine.NewProto(func(done func(int, error) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		if batch == 1 {
+			var loop func(i int) (engine.Yield, engine.Cont)
+			loop = func(i int) (engine.Yield, engine.Cont) {
+				if i >= rounds {
+					return done(0, nil)
+				}
+				return a.YieldRound(dir), func(engine.Resume) (engine.Yield, engine.Cont) {
+					return loop(i + 1)
+				}
+			}
+			return loop(0)
+		}
+		traceLen := 0
+		var loop func(doneRounds int) (engine.Yield, engine.Cont)
+		loop = func(dr int) (engine.Yield, engine.Cont) {
+			if dr >= rounds {
+				return done(traceLen, nil)
+			}
+			k := batch
+			if rounds-dr < k {
+				k = rounds - dr
+			}
+			return a.YieldRoundN(dir, k), func(in engine.Resume) (engine.Yield, engine.Cont) {
+				traceLen = len(in.Obs)
+				return loop(dr + k)
+			}
+		}
+		return loop(0)
+	})
+}
+
+// MeasureEngineSweepRuntime runs the constant-direction sweep workload on the
+// chosen runtime and returns the wall-clock rounds/sec.
+func MeasureEngineSweepRuntime(rt engine.Runtime, n int, seed int64, rounds, batch int) (float64, error) {
+	nw, err := EngineSweepNetwork(n, seed)
+	if err != nil {
+		return 0, err
+	}
+	//ringvet:allow determinism this is the benchmark path: rounds/sec is a wall-clock measurement by definition
+	start := time.Now()
+	switch rt.Resolve() {
+	case engine.RuntimeFSM:
+		_, err = engine.RunFSM(nw, func(a *engine.Agent) *engine.Proto[int] {
+			return EngineSweepMachine(a, rounds, batch)
+		})
+	case engine.RuntimeLegacy:
+		_, err = engine.RunLegacy(nw, EngineSweepProtocol(rounds, batch))
+	default:
+		_, err = engine.Run(nw, EngineSweepProtocol(rounds, batch))
+	}
+	if err != nil {
+		return 0, err
+	}
+	//ringvet:allow determinism this is the benchmark path: rounds/sec is a wall-clock measurement by definition
+	return float64(rounds) / time.Since(start).Seconds(), nil
+}
+
+// SchedGrid expands the small-n campaign grid the scenarios/sec workload
+// sweeps: the full default matrix (all tasks, models, parities and chirality
+// regimes) over the configured sizes and seeds — the same axes as the
+// repository's golden 216-scenario artefact.
+func SchedGrid(cfg SchedConfig) ([]campaign.Scenario, error) {
+	cfg = cfg.filled()
+	return campaign.Matrix{Sizes: cfg.GridSizes, Seeds: cfg.GridSeeds}.Expand()
+}
+
+// measureCampaignRuntime runs the whole grid under rt (cache off) and returns
+// scenarios/sec.  The process-wide default runtime is flipped for the run and
+// restored, which steers every facade call the campaign stack makes.
+func measureCampaignRuntime(rt engine.Runtime, scenarios []campaign.Scenario) (float64, error) {
+	engine.SetDefaultRuntime(rt)
+	defer engine.SetDefaultRuntime(engine.RuntimeDefault)
+	//ringvet:allow determinism this is the benchmark path: scenarios/sec is a wall-clock measurement by definition
+	start := time.Now()
+	//ringvet:allow ctxflow the benchmark arm is a complete measurement, not a servable request; there is no caller context to thread
+	if _, err := campaign.RunAll(context.Background(), scenarios, campaign.Options{}); err != nil {
+		return 0, err
+	}
+	//ringvet:allow determinism this is the benchmark path: scenarios/sec is a wall-clock measurement by definition
+	return float64(len(scenarios)) / time.Since(start).Seconds(), nil
+}
+
+// MeasureSched runs the full -sched A/B: rounds/sec per runtime and network
+// size on the sweep workload, then scenarios/sec per runtime on the small-n
+// campaign grid.  Arms are interleaved within each repetition and the medians
+// are reported, with each non-barrier arm annotated with its speedup over the
+// barrier median.
+func MeasureSched(cfg SchedConfig) ([]SchedEntry, error) {
+	cfg = cfg.filled()
+	var entries []SchedEntry
+
+	for _, n := range cfg.SweepSizes {
+		samples := map[engine.Runtime][]float64{}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			for _, rt := range schedRuntimes {
+				v, err := MeasureEngineSweepRuntime(rt, n, cfg.Seed, cfg.SweepRounds, 1)
+				if err != nil {
+					return nil, err
+				}
+				samples[rt] = append(samples[rt], v)
+			}
+		}
+		baseline := median(samples[engine.RuntimeBarrier])
+		for _, rt := range schedRuntimes {
+			e := SchedEntry{
+				Workload: "sweep",
+				Runtime:  rt.String(),
+				N:        n,
+				Rounds:   cfg.SweepRounds,
+				Reps:     cfg.Reps,
+				Value:    median(samples[rt]),
+				Unit:     "rounds/sec",
+			}
+			if rt != engine.RuntimeBarrier && baseline > 0 {
+				e.SpeedupVsBarrier = e.Value / baseline
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	scenarios, err := SchedGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	samples := map[engine.Runtime][]float64{}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for _, rt := range schedRuntimes {
+			v, err := measureCampaignRuntime(rt, scenarios)
+			if err != nil {
+				return nil, err
+			}
+			samples[rt] = append(samples[rt], v)
+		}
+	}
+	baseline := median(samples[engine.RuntimeBarrier])
+	for _, rt := range schedRuntimes {
+		e := SchedEntry{
+			Workload:  "campaign",
+			Runtime:   rt.String(),
+			Scenarios: len(scenarios),
+			Reps:      cfg.Reps,
+			Value:     median(samples[rt]),
+			Unit:      "scenarios/sec",
+		}
+		if rt != engine.RuntimeBarrier && baseline > 0 {
+			e.SpeedupVsBarrier = e.Value / baseline
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// median of a non-empty sample set; the input slice is not modified.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

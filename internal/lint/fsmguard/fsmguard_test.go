@@ -1,0 +1,12 @@
+package fsmguard_test
+
+import (
+	"testing"
+
+	"ringsym/internal/lint/analysis/analysistest"
+	"ringsym/internal/lint/fsmguard"
+)
+
+func TestFsmguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), fsmguard.Analyzer, "fsmfix")
+}

@@ -1,0 +1,15 @@
+// Package engine is a miniature fake of ringsym/internal/engine: just the
+// step-handler types the fsmguard analyzer keys on.
+package engine
+
+// Resume is what a machine is resumed with.
+type Resume struct{ Sum int64 }
+
+// Yield is a machine's round-batch request.
+type Yield struct{ k int }
+
+// Cont is a resumable continuation.
+type Cont func(in Resume) (Yield, Cont)
+
+// Abort ends a machine with an error.
+func Abort(err error) (Yield, Cont) { return Yield{}, nil }

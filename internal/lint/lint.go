@@ -16,6 +16,7 @@ import (
 	"ringsym/internal/lint/atomicfield"
 	"ringsym/internal/lint/ctxflow"
 	"ringsym/internal/lint/determinism"
+	"ringsym/internal/lint/fsmguard"
 	"ringsym/internal/lint/obsguard"
 	"ringsym/internal/lint/taskreg"
 )
@@ -26,6 +27,7 @@ func All() []*analysis.Analyzer {
 		atomicfield.Analyzer,
 		ctxflow.Analyzer,
 		determinism.Analyzer,
+		fsmguard.Analyzer,
 		obsguard.Analyzer,
 		taskreg.Analyzer,
 	}

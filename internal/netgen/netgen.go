@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ringsym/internal/engine"
 	"ringsym/internal/ring"
@@ -115,6 +116,53 @@ func Generate(opt Options) (engine.Config, error) {
 	if err := opt.fillDefaults(); err != nil {
 		return engine.Config{}, err
 	}
+	// Bounded memo, keyed by the filled option set.  Generation is
+	// deterministic (one Options value → one Config), so the cache is
+	// semantically invisible; it exists because scenario sweeps regenerate the
+	// same small grid of configurations over and over, and seeding a
+	// math/rand source alone costs more than a whole small-n generation.
+	// Copies go in and out, so callers may mutate results freely.
+	memoMu.Lock()
+	cached, ok := memoed[opt]
+	memoMu.Unlock()
+	if ok {
+		return copyConfig(cached), nil
+	}
+	cfg := generate(opt)
+	memoMu.Lock()
+	if memoed == nil {
+		memoed = make(map[Options]engine.Config)
+	}
+	if len(memoed) < memoLimit {
+		memoed[opt] = copyConfig(cfg)
+	}
+	memoMu.Unlock()
+	return cfg, nil
+}
+
+// memoLimit bounds the generation memo; past it, Generate stops inserting
+// (sweeps use far fewer distinct option sets, and a workload that overflows
+// the bound degrades to uncached generation, not to unbounded memory).
+const memoLimit = 4096
+
+var (
+	memoMu sync.Mutex
+	memoed map[Options]engine.Config
+)
+
+// copyConfig deep-copies the slice-valued fields so memo entries stay
+// immutable no matter what callers do with returned configurations.
+func copyConfig(cfg engine.Config) engine.Config {
+	cfg.Positions = append([]int64(nil), cfg.Positions...)
+	cfg.IDs = append([]int(nil), cfg.IDs...)
+	if cfg.Chirality != nil {
+		cfg.Chirality = append([]bool(nil), cfg.Chirality...)
+	}
+	return cfg
+}
+
+// generate is the uncached generation path; opt must be filled.
+func generate(opt Options) engine.Config {
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	positions := positionsFor(rng, opt)
@@ -140,7 +188,7 @@ func Generate(opt Options) (engine.Config, error) {
 		MaxRounds:  opt.MaxRounds,
 		AllowSmall: opt.AllowSmall,
 		HideParity: opt.HideParity,
-	}, nil
+	}
 }
 
 // MustGenerate is Generate but panics on error; for tests and examples.

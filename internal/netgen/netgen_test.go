@@ -65,6 +65,29 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateMemoIsolation pins the memo's immutability contract: mutating a
+// returned configuration must not leak into later generations of the same
+// option set.
+func TestGenerateMemoIsolation(t *testing.T) {
+	opt := Options{N: 10, Seed: 77, MixedChirality: true, ForceSplitChirality: true}
+	a := MustGenerate(opt)
+	want := append([]int64(nil), a.Positions...)
+	wantIDs := append([]int(nil), a.IDs...)
+	wantChir := append([]bool(nil), a.Chirality...)
+	// Trash every slice of the returned copy.
+	for i := range a.Positions {
+		a.Positions[i] = -1
+		a.IDs[i] = -1
+		a.Chirality[i] = !a.Chirality[i]
+	}
+	b := MustGenerate(opt)
+	for i := range want {
+		if b.Positions[i] != want[i] || b.IDs[i] != wantIDs[i] || b.Chirality[i] != wantChir[i] {
+			t.Fatal("memoized generation leaked a caller's mutation")
+		}
+	}
+}
+
 func TestGenerateForceSplitChirality(t *testing.T) {
 	cfg := MustGenerate(Options{N: 8, Seed: 4, MixedChirality: true, ForceSplitChirality: true})
 	hasTrue, hasFalse := false, false

@@ -71,6 +71,12 @@ func spanToOpposite(dirOf func(label int) ring.Direction, myLabel, n int, myDir 
 	return 0, false
 }
 
+// distancesResult carries Distances' result through the blocking wrapper.
+type distancesResult struct {
+	gaps   []int64
+	offset int
+}
+
 // Distances implements Algorithm 6 together with the equation bookkeeping
 // that the paper describes informally: every round contributes the dist()
 // equation (an arc of `rotation index` consecutive gaps) and, when the agent
@@ -94,12 +100,22 @@ func spanToOpposite(dirOf func(label int) ring.Direction, myLabel, n int, myDir 
 // label j+1 to the agent with label j+2) and the agent's final ring offset
 // from the reference configuration.
 func Distances(f *core.Frame, label, n int) (gaps []int64, finalOffset int, err error) {
+	r, err := engine.RunStep(f.Agent(), func(k func(distancesResult) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return DistancesStep(f, label, n, func(gaps []int64, offset int) (engine.Yield, engine.Cont) {
+			return k(distancesResult{gaps: gaps, offset: offset})
+		})
+	})
+	return r.gaps, r.offset, err
+}
+
+// DistancesStep is the machine form of Distances.
+func DistancesStep(f *core.Frame, label, n int, k func(gaps []int64, finalOffset int) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	if label < 1 || label > n || n < 5 {
-		return nil, 0, fmt.Errorf("%w: label %d of %d", ErrProtocol, label, n)
+		return engine.Abort(fmt.Errorf("%w: label %d of %d", ErrProtocol, label, n))
 	}
 	solver, err := arcsolve.New(n, f.FullCircle())
 	if err != nil {
-		return nil, 0, err
+		return engine.Abort(err)
 	}
 	rel := label - 1
 	offset := 0
@@ -131,17 +147,15 @@ func Distances(f *core.Frame, label, n int) (gaps []int64, finalOffset int, err 
 		return nil
 	}
 
-	execute := func(dirOf func(label int) ring.Direction, rotation int) error {
-		obs, err := f.Round(dirOf(label))
-		if err != nil {
-			return err
-		}
-		return record(dirOf, rotation, obs)
-	}
-
-	convolution := func(t int) error {
+	convolutionStep := func(t int, next func() (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 		e := convolutionException(n, t)
-		return execute(func(l int) ring.Direction { return convolutionDir(l, e) }, convolutionRotation(n))
+		dirOf := func(l int) ring.Direction { return convolutionDir(l, e) }
+		return f.RoundStep(dirOf(label), func(obs engine.Observation) (engine.Yield, engine.Cont) {
+			if err := record(dirOf, convolutionRotation(n), obs); err != nil {
+				return engine.Abort(err)
+			}
+			return next()
+		})
 	}
 
 	// The paper's main schedule — ⌈n/2⌉ Convolution rounds plus, for even n,
@@ -173,40 +187,36 @@ func Distances(f *core.Frame, label, n int) (gaps []int64, finalOffset int, err 
 	for t, sr := range sched {
 		dirs[t] = sr.dirOf(label)
 	}
-	trace, err := f.RoundSchedule(dirs, nil)
-	if err != nil {
-		return nil, 0, err
-	}
-	for t, sr := range sched {
-		if err := record(sr.dirOf, sr.rotation, trace[t]); err != nil {
-			return nil, 0, err
+	return f.RoundScheduleStep(dirs, func(trace []engine.Observation) (engine.Yield, engine.Cont) {
+		for t, sr := range sched {
+			if err := record(sr.dirOf, sr.rotation, trace[t]); err != nil {
+				return engine.Abort(err)
+			}
 		}
-	}
 
-	// Completeness loop: exit only when every agent has solved its system.
-	for iter := 0; ; iter++ {
-		probeDir := ring.Clockwise
-		if solver.Solved() {
-			probeDir = ring.Anticlockwise
+		// Completeness loop: exit only when every agent has solved its system.
+		var loop func(iter int) (engine.Yield, engine.Cont)
+		loop = func(iter int) (engine.Yield, engine.Cont) {
+			probeDir := ring.Clockwise
+			if solver.Solved() {
+				probeDir = ring.Anticlockwise
+			}
+			return f.RoundPairStep(probeDir, func(probe engine.Observation) (engine.Yield, engine.Cont) {
+				if solver.Solved() && !probe.Collided && probe.Dist == 0 {
+					gaps, err := solver.Gaps()
+					if err != nil {
+						return engine.Abort(err)
+					}
+					return k(gaps, offset)
+				}
+				if iter > 4*n {
+					return engine.Abort(fmt.Errorf("%w: Distances did not converge", ErrExhausted))
+				}
+				return convolutionStep((n+1)/2+iter+1, func() (engine.Yield, engine.Cont) {
+					return loop(iter + 1)
+				})
+			})
 		}
-		probe, err := f.RoundPair(probeDir)
-		if err != nil {
-			return nil, 0, err
-		}
-		if solver.Solved() && !probe.Collided && probe.Dist == 0 {
-			break
-		}
-		if iter > 4*n {
-			return nil, 0, fmt.Errorf("%w: Distances did not converge", ErrExhausted)
-		}
-		if err := convolution((n+1)/2 + iter + 1); err != nil {
-			return nil, 0, err
-		}
-	}
-
-	gaps, err = solver.Gaps()
-	if err != nil {
-		return nil, 0, err
-	}
-	return gaps, offset, nil
+		return loop(0)
+	})
 }

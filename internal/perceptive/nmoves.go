@@ -39,60 +39,66 @@ var (
 // The returned direction is this agent's direction, in its frame, in a round
 // known by every agent to be a nontrivial move.
 func NMoveS(f *core.Frame, seed int64) (ring.Direction, error) {
+	return engine.RunStep(f.Agent(), func(k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return NMoveSStep(f, seed, k)
+	})
+}
+
+// NMoveSStep is the machine form of NMoveS.
+func NMoveSStep(f *core.Frame, seed int64, k func(ring.Direction) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	if !f.Agent().Model().RevealsCollision() {
-		return ring.Idle, ErrNeedPerceptive
+		return engine.Abort(ErrNeedPerceptive)
 	}
-	cls, err := f.ClassifyRotation(ring.Clockwise, true)
-	if err != nil {
-		return ring.Idle, err
-	}
-	if cls.Nontrivial() {
-		return ring.Clockwise, nil
-	}
+	return f.ClassifyRotationStep(ring.Clockwise, true, func(cls core.RotationClass) (engine.Yield, engine.Cont) {
+		if cls.Nontrivial() {
+			return k(ring.Clockwise)
+		}
+		return rcomm.EstablishStep(f, func(link *rcomm.Link) (engine.Yield, engine.Cont) {
+			idBits := comb.Bits(f.IDBound())
+			isLeader := true // L_0 contains every agent
 
-	link, err := rcomm.Establish(f)
-	if err != nil {
-		return ring.Idle, err
-	}
-	idBits := comb.Bits(f.IDBound())
-	isLeader := true // L_0 contains every agent
-
-	for k := 0; ; k++ {
-		d := 1 << k
-		if d > 2*f.IDBound() {
-			return ring.Idle, fmt.Errorf("%w: local-leader hierarchy exceeded the identifier bound", ErrExhausted)
-		}
-		// Thin the leaders: a level-(k-1) leader survives to level k iff its
-		// identifier is maximal among level-(k-1) leaders within ring
-		// distance 2^k.
-		max, found, err := link.AggregateMax(isLeader, uint64(f.ID()), idBits, d)
-		if err != nil {
-			return ring.Idle, err
-		}
-		if isLeader && found && int(max) > f.ID() {
-			isLeader = false
-		}
-		// Execute the (N, 2^k)-selective family on the surviving leaders:
-		// leaders contained in the current set flip to anticlockwise, every
-		// other agent stays clockwise.
-		fam, err := comb.NewRandomSelective(f.IDBound(), d, seed^int64(k)*0x9e3779b9, 0)
-		if err != nil {
-			return ring.Idle, err
-		}
-		for i := 0; i < fam.Len(); i++ {
-			dir := ring.Clockwise
-			if isLeader && fam.Contains(i, f.ID()) {
-				dir = ring.Anticlockwise
+			var level func(lvl int) (engine.Yield, engine.Cont)
+			level = func(lvl int) (engine.Yield, engine.Cont) {
+				d := 1 << lvl
+				if d > 2*f.IDBound() {
+					return engine.Abort(fmt.Errorf("%w: local-leader hierarchy exceeded the identifier bound", ErrExhausted))
+				}
+				// Thin the leaders: a level-(k-1) leader survives to level k iff
+				// its identifier is maximal among level-(k-1) leaders within ring
+				// distance 2^k.
+				return link.AggregateMaxStep(isLeader, uint64(f.ID()), idBits, d, func(max uint64, found bool) (engine.Yield, engine.Cont) {
+					if isLeader && found && int(max) > f.ID() {
+						isLeader = false
+					}
+					// Execute the (N, 2^k)-selective family on the surviving
+					// leaders: leaders contained in the current set flip to
+					// anticlockwise, every other agent stays clockwise.
+					fam, err := comb.NewRandomSelective(f.IDBound(), d, seed^int64(lvl)*0x9e3779b9, 0)
+					if err != nil {
+						return engine.Abort(err)
+					}
+					var try func(i int) (engine.Yield, engine.Cont)
+					try = func(i int) (engine.Yield, engine.Cont) {
+						if i == fam.Len() {
+							return level(lvl + 1)
+						}
+						dir := ring.Clockwise
+						if isLeader && fam.Contains(i, f.ID()) {
+							dir = ring.Anticlockwise
+						}
+						return f.ClassifyRotationStep(dir, true, func(cls core.RotationClass) (engine.Yield, engine.Cont) {
+							if cls.Nontrivial() {
+								return k(dir)
+							}
+							return try(i + 1)
+						})
+					}
+					return try(0)
+				})
 			}
-			cls, err := f.ClassifyRotation(dir, true)
-			if err != nil {
-				return ring.Idle, err
-			}
-			if cls.Nontrivial() {
-				return dir, nil
-			}
-		}
-	}
+			return level(0)
+		})
+	})
 }
 
 // Options configures the perceptive coordination and discovery pipelines.
@@ -105,28 +111,38 @@ type Options struct {
 // in the perceptive model in O(√n·log N) rounds (Table I, last row), by
 // composing NMoveS with Algorithm 1 and Algorithm 2.
 func Coordinate(a *engine.Agent, opts Options) (*core.Coordination, error) {
+	return engine.RunMachine(a, CoordinateMachine(a, opts))
+}
+
+// CoordinateMachine builds the perceptive coordination pipeline as a resumable
+// machine for the engine's v3 scheduler; Coordinate drives the same machine
+// through the blocking dispatcher on the v1/v2 runtimes.
+func CoordinateMachine(a *engine.Agent, opts Options) *engine.Proto[*core.Coordination] {
+	return engine.NewProto(func(done func(*core.Coordination, error) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return CoordinateStep(a, opts, func(c *core.Coordination) (engine.Yield, engine.Cont) {
+			return done(c, nil)
+		})
+	})
+}
+
+// CoordinateStep is the machine form of Coordinate.
+func CoordinateStep(a *engine.Agent, opts Options, k func(*core.Coordination) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	f := core.NewFrame(a)
 	start := f.RoundsUsed()
-	nmDir, err := NMoveS(f, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	afterNM := f.RoundsUsed()
-	nmDir, err = core.DirectionAgreement(f, nmDir)
-	if err != nil {
-		return nil, err
-	}
-	afterDA := f.RoundsUsed()
-	isLeader, err := core.LeaderElectWithNM(f, nmDir)
-	if err != nil {
-		return nil, err
-	}
-	return &core.Coordination{
-		Frame:            f,
-		IsLeader:         isLeader,
-		NontrivialDir:    nmDir,
-		RoundsNontrivial: afterNM - start,
-		RoundsAgreement:  afterDA - afterNM,
-		RoundsLeader:     f.RoundsUsed() - afterDA,
-	}, nil
+	return NMoveSStep(f, opts.Seed, func(nmDir ring.Direction) (engine.Yield, engine.Cont) {
+		afterNM := f.RoundsUsed()
+		return core.DirectionAgreementStep(f, nmDir, func(nmDir ring.Direction) (engine.Yield, engine.Cont) {
+			afterDA := f.RoundsUsed()
+			return core.LeaderElectWithNMStep(f, nmDir, func(isLeader bool) (engine.Yield, engine.Cont) {
+				return k(&core.Coordination{
+					Frame:            f,
+					IsLeader:         isLeader,
+					NontrivialDir:    nmDir,
+					RoundsNontrivial: afterNM - start,
+					RoundsAgreement:  afterDA - afterNM,
+					RoundsLeader:     f.RoundsUsed() - afterDA,
+				})
+			})
+		})
+	})
 }

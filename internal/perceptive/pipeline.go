@@ -38,50 +38,56 @@ type DiscoveryResult struct {
 // leader election → neighbour re-discovery in the agreed frame → RingDist →
 // size broadcast → Distances → per-agent solution of the arc equations.
 func LocationDiscovery(a *engine.Agent, opts Options) (*DiscoveryResult, error) {
-	coord, err := Coordinate(a, opts)
-	if err != nil {
-		return nil, err
-	}
-	f := coord.Frame
-	afterCoord := f.RoundsUsed()
+	return engine.RunMachine(a, LocationDiscoveryMachine(a, opts))
+}
 
-	// The link must be rebuilt because direction agreement may have flipped
-	// the frame after NMoveS's neighbour discovery.
-	link, err := rcomm.Establish(f)
-	if err != nil {
-		return nil, err
-	}
-	label, isLast, err := RingDist(link, coord.IsLeader)
-	if err != nil {
-		return nil, err
-	}
-	n, err := BroadcastSize(f, isLast, label)
-	if err != nil {
-		return nil, err
-	}
-	if n < 5 || label < 1 || label > n {
-		return nil, fmt.Errorf("%w: ring distance stage produced label %d, n %d", ErrProtocol, label, n)
-	}
-	afterRingDist := f.RoundsUsed()
+// LocationDiscoveryMachine builds the full location-discovery pipeline as a
+// resumable machine for the engine's v3 scheduler; LocationDiscovery drives
+// the same machine through the blocking dispatcher on the v1/v2 runtimes.
+func LocationDiscoveryMachine(a *engine.Agent, opts Options) *engine.Proto[*DiscoveryResult] {
+	return engine.NewProto(func(done func(*DiscoveryResult, error) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return LocationDiscoveryStep(a, opts, func(r *DiscoveryResult) (engine.Yield, engine.Cont) {
+			return done(r, nil)
+		})
+	})
+}
 
-	gaps, offset, err := Distances(f, label, n)
-	if err != nil {
-		return nil, err
-	}
-	positions, err := relativePositions(f, label, n, gaps, offset)
-	if err != nil {
-		return nil, err
-	}
-	return &DiscoveryResult{
-		IsLeader:           coord.IsLeader,
-		Label:              label,
-		N:                  n,
-		Gaps:               gaps,
-		Positions:          positions,
-		RoundsCoordination: afterCoord,
-		RoundsRingDist:     afterRingDist - afterCoord,
-		RoundsDistances:    f.RoundsUsed() - afterRingDist,
-	}, nil
+// LocationDiscoveryStep is the machine form of LocationDiscovery.
+func LocationDiscoveryStep(a *engine.Agent, opts Options, k func(*DiscoveryResult) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return CoordinateStep(a, opts, func(coord *core.Coordination) (engine.Yield, engine.Cont) {
+		f := coord.Frame
+		afterCoord := f.RoundsUsed()
+
+		// The link must be rebuilt because direction agreement may have flipped
+		// the frame after NMoveS's neighbour discovery.
+		return rcomm.EstablishStep(f, func(link *rcomm.Link) (engine.Yield, engine.Cont) {
+			return RingDistStep(link, coord.IsLeader, func(label int, isLast bool) (engine.Yield, engine.Cont) {
+				return BroadcastSizeStep(f, isLast, label, func(n int) (engine.Yield, engine.Cont) {
+					if n < 5 || label < 1 || label > n {
+						return engine.Abort(fmt.Errorf("%w: ring distance stage produced label %d, n %d", ErrProtocol, label, n))
+					}
+					afterRingDist := f.RoundsUsed()
+
+					return DistancesStep(f, label, n, func(gaps []int64, offset int) (engine.Yield, engine.Cont) {
+						positions, err := relativePositions(f, label, n, gaps, offset)
+						if err != nil {
+							return engine.Abort(err)
+						}
+						return k(&DiscoveryResult{
+							IsLeader:           coord.IsLeader,
+							Label:              label,
+							N:                  n,
+							Gaps:               gaps,
+							Positions:          positions,
+							RoundsCoordination: afterCoord,
+							RoundsRingDist:     afterRingDist - afterCoord,
+							RoundsDistances:    f.RoundsUsed() - afterRingDist,
+						})
+					})
+				})
+			})
+		})
+	})
 }
 
 // relativePositions converts the leader-relative gap vector into positions

@@ -10,6 +10,12 @@ import (
 	"ringsym/internal/ring"
 )
 
+// ringDistResult carries RingDist's result through the blocking wrapper.
+type ringDistResult struct {
+	label  int
+	isLast bool
+}
+
 // RingDist implements Algorithm 5: every agent learns its label, i.e. its
 // clockwise ring distance from the elected leader plus one (the leader has
 // label 1, its clockwise neighbour label 2, ..., its anticlockwise neighbour
@@ -33,27 +39,25 @@ import (
 // The returned values are the agent's label and whether it is the last agent
 // (label n).  Cost: O(√n·log N) rounds.
 func RingDist(link *rcomm.Link, isLeader bool) (label int, isLast bool, err error) {
+	r, err := engine.RunStep(link.Frame().Agent(), func(k func(ringDistResult) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return RingDistStep(link, isLeader, func(label int, isLast bool) (engine.Yield, engine.Cont) {
+			return k(ringDistResult{label: label, isLast: isLast})
+		})
+	})
+	return r.label, r.isLast, err
+}
+
+// RingDistStep is the machine form of RingDist.
+func RingDistStep(link *rcomm.Link, isLeader bool, k func(label int, isLast bool) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	f := link.Frame()
 	if !f.Agent().Model().RevealsCollision() {
-		return 0, false, ErrNeedPerceptive
+		return engine.Abort(ErrNeedPerceptive)
 	}
+	label := 0
 	if isLeader {
 		label = 1
 	}
-
-	// The leader announces itself over ring distance 4 so that agents a_2..a_5
-	// know their labels before the first iteration, and a_n learns that it is
-	// the leader's anticlockwise neighbour.
-	left, right, err := link.DisseminateSparse(isLeader, 1, 1, 4)
-	if err != nil {
-		return 0, false, err
-	}
-	if right.Found && right.Hops == 1 && !isLeader {
-		isLast = true
-	}
-	if label == 0 && left.Found {
-		label = 1 + left.Hops
-	}
+	isLast := false
 
 	// shiftDir is the agent's direction in one round of Shift(l) (for l > 0)
 	// or Shift(-|l|) (for l < 0): agents with a known label at most |l| move
@@ -70,100 +74,108 @@ func RingDist(link *rcomm.Link, isLeader bool) (label int, isLast bool, err erro
 		}
 		return inside.Opposite()
 	}
-	shift := func(l int) (engine.Observation, error) {
-		return f.Round(shiftDir(l))
-	}
 
-	for k := 2; ; k *= 2 {
-		if k > 4*f.IDBound() {
-			return 0, false, fmt.Errorf("%w: RingDist exceeded the identifier bound", ErrExhausted)
+	// The leader announces itself over ring distance 4 so that agents a_2..a_5
+	// know their labels before the first iteration, and a_n learns that it is
+	// the leader's anticlockwise neighbour.
+	return link.DisseminateSparseStep(isLeader, 1, 1, 4, func(left, right rcomm.SideInfo) (engine.Yield, engine.Cont) {
+		if right.Found && right.Hops == 1 && !isLeader {
+			isLast = true
 		}
-		// Phase A: k executions of Shift(-k/2); record the anticlockwise
-		// displacement of each.  The agent's direction is constant for the
-		// whole phase (labels only change in phase C), so the k rounds are
-		// one leap batch — and so is the undo phase, whose observations are
-		// discarded and therefore only need the aggregate form.
-		trace, err := f.RoundN(shiftDir(-(k / 2)), k)
-		if err != nil {
-			return 0, false, err
+		if label == 0 && left.Found {
+			label = 1 + left.Hops
 		}
-		ys := make([]int64, 0, k)
-		for _, obs := range trace {
-			y := int64(0)
-			if obs.Dist != 0 {
-				y = f.FullCircle() - obs.Dist
+
+		var iter func(kk int) (engine.Yield, engine.Cont)
+		iter = func(kk int) (engine.Yield, engine.Cont) {
+			if kk > 4*f.IDBound() {
+				return engine.Abort(fmt.Errorf("%w: RingDist exceeded the identifier bound", ErrExhausted))
 			}
-			ys = append(ys, y)
-		}
-		if _, err := f.RoundNSum(shiftDir(k/2), k); err != nil {
-			return 0, false, err
-		}
-		// Phase B: Shift(k) yields the first-collision distance z; Shift(-k)
-		// undoes it.
-		obsZ, err := shift(k)
-		if err != nil {
-			return 0, false, err
-		}
-		if _, err := shift(-k); err != nil {
-			return 0, false, err
-		}
-		// Corollary 38: an unlabelled agent has label k + jk exactly when
-		// twice its first-collision distance equals y_1 + ... + y_j.  Agents
-		// that already know such a label (from an earlier iteration) mark
-		// themselves again, exactly as in the paper, so that the contiguous
-		// coverage of announced labels keeps extending by k² per iteration.
-		marked := false
-		switch {
-		case label > k && label%k == 0 && label <= k*k+k:
-			marked = true
-		case label == 0 && obsZ.Collided:
-			var sum int64
-			for j := 0; j < k; j++ {
-				sum += ys[j]
-				if 2*obsZ.Coll == sum {
-					label = k + (j+1)*k
-					marked = true
-					break
+			// Phase A: k executions of Shift(-k/2); record the anticlockwise
+			// displacement of each.  The agent's direction is constant for the
+			// whole phase (labels only change in phase C), so the k rounds are
+			// one leap batch — and so is the undo phase, whose observations are
+			// discarded and therefore only need the aggregate form.
+			return f.RoundNStep(shiftDir(-(kk / 2)), kk, func(trace []engine.Observation) (engine.Yield, engine.Cont) {
+				ys := make([]int64, 0, kk)
+				for _, obs := range trace {
+					y := int64(0)
+					if obs.Dist != 0 {
+						y = f.FullCircle() - obs.Dist
+					}
+					ys = append(ys, y)
 				}
-			}
+				return f.RoundNSumStep(shiftDir(kk/2), kk, func(int64) (engine.Yield, engine.Cont) {
+					// Phase B: Shift(k) yields the first-collision distance z;
+					// Shift(-k) undoes it.
+					return f.RoundStep(shiftDir(kk), func(obsZ engine.Observation) (engine.Yield, engine.Cont) {
+						return f.RoundStep(shiftDir(-kk), func(engine.Observation) (engine.Yield, engine.Cont) {
+							// Corollary 38: an unlabelled agent has label k + jk
+							// exactly when twice its first-collision distance
+							// equals y_1 + ... + y_j.  Agents that already know
+							// such a label (from an earlier iteration) mark
+							// themselves again, exactly as in the paper, so that
+							// the contiguous coverage of announced labels keeps
+							// extending by k² per iteration.
+							marked := false
+							switch {
+							case label > kk && label%kk == 0 && label <= kk*kk+kk:
+								marked = true
+							case label == 0 && obsZ.Collided:
+								var sum int64
+								for j := 0; j < kk; j++ {
+									sum += ys[j]
+									if 2*obsZ.Coll == sum {
+										label = kk + (j+1)*kk
+										marked = true
+										break
+									}
+								}
+							}
+							// Phase C: newly labelled agents announce their label
+							// over distance k.
+							labelBits := comb.Bits(kk*kk + kk)
+							payload := uint64(0)
+							if marked {
+								payload = uint64(label)
+							}
+							return link.DisseminateSparseStep(marked, payload, labelBits, kk, func(dl, dr rcomm.SideInfo) (engine.Yield, engine.Cont) {
+								if label == 0 {
+									switch {
+									case dl.Found:
+										// The source sits on our anticlockwise
+										// side: we are dl.Hops positions
+										// clockwise of it.
+										label = int(dl.Payload) + dl.Hops
+									case dr.Found:
+										label = int(dr.Payload) - dr.Hops
+									}
+								}
+								// Completeness check: a_n moves clockwise iff it
+								// knows its label, everybody else anticlockwise;
+								// the rotation index is nonzero exactly when a_n
+								// is labelled, which (by the contiguous coverage
+								// of labels) means everybody is.  The probe is
+								// paired with a reversed round so the
+								// configuration is preserved.
+								probeDir := ring.Anticlockwise
+								if isLast && label != 0 {
+									probeDir = ring.Clockwise
+								}
+								return f.RoundPairStep(probeDir, func(obs engine.Observation) (engine.Yield, engine.Cont) {
+									if obs.Dist != 0 {
+										return k(label, isLast)
+									}
+									return iter(kk * 2)
+								})
+							})
+						})
+					})
+				})
+			})
 		}
-		// Phase C: newly labelled agents announce their label over distance k.
-		labelBits := comb.Bits(k*k + k)
-		payload := uint64(0)
-		if marked {
-			payload = uint64(label)
-		}
-		dl, dr, err := link.DisseminateSparse(marked, payload, labelBits, k)
-		if err != nil {
-			return 0, false, err
-		}
-		if label == 0 {
-			switch {
-			case dl.Found:
-				// The source sits on our anticlockwise side: we are dl.Hops
-				// positions clockwise of it.
-				label = int(dl.Payload) + dl.Hops
-			case dr.Found:
-				label = int(dr.Payload) - dr.Hops
-			}
-		}
-		// Completeness check: a_n moves clockwise iff it knows its label,
-		// everybody else anticlockwise; the rotation index is nonzero exactly
-		// when a_n is labelled, which (by the contiguous coverage of labels)
-		// means everybody is.  The probe is paired with a reversed round so
-		// the configuration is preserved.
-		probeDir := ring.Anticlockwise
-		if isLast && label != 0 {
-			probeDir = ring.Clockwise
-		}
-		obs, err := f.RoundPair(probeDir)
-		if err != nil {
-			return 0, false, err
-		}
-		if obs.Dist != 0 {
-			return label, isLast, nil
-		}
-	}
+		return iter(2)
+	})
 }
 
 // BroadcastSize makes the last agent (label n, the leader's anticlockwise
@@ -171,6 +183,13 @@ func RingDist(link *rcomm.Link, isLeader bool) (label int, isLast bool, err erro
 // rotation-signalling channel, one bit per paired round, so the configuration
 // is preserved.  Every agent returns n.  Cost: 2·⌈log2 N⌉ rounds.
 func BroadcastSize(f *core.Frame, isLast bool, ownLabel int) (int, error) {
+	return engine.RunStep(f.Agent(), func(k func(int) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return BroadcastSizeStep(f, isLast, ownLabel, k)
+	})
+}
+
+// BroadcastSizeStep is the machine form of BroadcastSize.
+func BroadcastSizeStep(f *core.Frame, isLast bool, ownLabel int, k func(int) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	bits := comb.Bits(f.IDBound())
 	value := uint64(0)
 	if isLast {
@@ -187,18 +206,16 @@ func BroadcastSize(f *core.Frame, isLast bool, ownLabel int) (int, error) {
 		}
 		dirs = append(dirs, dir, dir.Opposite())
 	}
-	trace, err := f.RoundSchedule(dirs, nil)
-	if err != nil {
-		return 0, err
-	}
-	var received uint64
-	for i := 0; i < bits; i++ {
-		if trace[2*i].Dist != 0 {
-			received |= 1 << i
+	return f.RoundScheduleStep(dirs, func(trace []engine.Observation) (engine.Yield, engine.Cont) {
+		var received uint64
+		for i := 0; i < bits; i++ {
+			if trace[2*i].Dist != 0 {
+				received |= 1 << i
+			}
 		}
-	}
-	if isLast {
-		return ownLabel, nil
-	}
-	return int(received), nil
+		if isLast {
+			return k(ownLabel)
+		}
+		return k(int(received))
+	})
 }

@@ -2,6 +2,8 @@ package rcomm
 
 import (
 	"fmt"
+
+	"ringsym/internal/engine"
 )
 
 // SideInfo describes what an agent learned about the nearest source on one
@@ -16,6 +18,11 @@ type SideInfo struct {
 	Hops int
 }
 
+// sidePair carries both sides' results through the blocking wrappers.
+type sidePair struct {
+	left, right SideInfo
+}
+
 // Disseminate implements the information dissemination task of
 // Corollary 33/34: every source agent floods its payload up to the given ring
 // distance in both directions, hop by hop.  Each agent learns, for each of
@@ -27,16 +34,26 @@ type SideInfo struct {
 // O(distance · payloadBits) rounds.  The configuration is restored
 // afterwards.
 func (l *Link) Disseminate(isSource bool, payload uint64, payloadBits, distance int) (left, right SideInfo, err error) {
+	p, err := engine.RunStep(l.frame.Agent(), func(k func(sidePair) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return l.DisseminateStep(isSource, payload, payloadBits, distance, func(left, right SideInfo) (engine.Yield, engine.Cont) {
+			return k(sidePair{left: left, right: right})
+		})
+	})
+	return p.left, p.right, err
+}
+
+// DisseminateStep is the machine form of Disseminate.
+func (l *Link) DisseminateStep(isSource bool, payload uint64, payloadBits, distance int, k func(left, right SideInfo) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	if distance < 1 {
-		return SideInfo{}, SideInfo{}, fmt.Errorf("rcomm: dissemination distance must be positive, got %d", distance)
+		return engine.Abort(fmt.Errorf("rcomm: dissemination distance must be positive, got %d", distance))
 	}
 	if payloadBits < 1 {
-		return SideInfo{}, SideInfo{}, fmt.Errorf("rcomm: payloadBits must be positive, got %d", payloadBits)
+		return engine.Abort(fmt.Errorf("rcomm: payloadBits must be positive, got %d", payloadBits))
 	}
 	hopBits := bitsFor(distance)
 	msgBits := 1 + payloadBits + hopBits
 	if 2*msgBits > 62 {
-		return SideInfo{}, SideInfo{}, fmt.Errorf("%w: message of %d bits", ErrBadBits, msgBits)
+		return engine.Abort(fmt.Errorf("%w: message of %d bits", ErrBadBits, msgBits))
 	}
 	enc := func(present bool, payload uint64, hops int) uint64 {
 		if !present {
@@ -53,30 +70,31 @@ func (l *Link) Disseminate(isSource bool, payload uint64, payloadBits, distance 
 		return true, payload, hops
 	}
 
+	var left, right SideInfo
 	// outRight travels towards our right neighbour (and onwards in that
 	// objective direction); outLeft symmetric.
-	outRight := enc(isSource, payload, 1)
-	outLeft := outRight
-	for step := 0; step < distance; step++ {
-		fromLeft, fromRight, err := l.Exchange(outLeft, outRight, msgBits)
-		if err != nil {
-			return SideInfo{}, SideInfo{}, err
+	var step func(i int, outLeft, outRight uint64) (engine.Yield, engine.Cont)
+	step = func(i int, outLeft, outRight uint64) (engine.Yield, engine.Cont) {
+		if i == distance {
+			return k(left, right)
 		}
-		// A message arriving from the left neighbour originated on our left
-		// side; the first one to arrive is from the nearest source.
-		if present, pl, hops := dec(fromLeft); present && !left.Found {
-			left = SideInfo{Found: true, Payload: pl, Hops: hops}
-		}
-		if present, pl, hops := dec(fromRight); present && !right.Found {
-			right = SideInfo{Found: true, Payload: pl, Hops: hops}
-		}
-		// Relay: what came from the left continues to the right with one more
-		// hop on its counter, and vice versa.  Messages that already reached
-		// the target distance die out because the loop ends.
-		outRight = relay(fromLeft, dec, enc)
-		outLeft = relay(fromRight, dec, enc)
+		return l.ExchangeStep(outLeft, outRight, msgBits, func(fromLeft, fromRight uint64) (engine.Yield, engine.Cont) {
+			// A message arriving from the left neighbour originated on our left
+			// side; the first one to arrive is from the nearest source.
+			if present, pl, hops := dec(fromLeft); present && !left.Found {
+				left = SideInfo{Found: true, Payload: pl, Hops: hops}
+			}
+			if present, pl, hops := dec(fromRight); present && !right.Found {
+				right = SideInfo{Found: true, Payload: pl, Hops: hops}
+			}
+			// Relay: what came from the left continues to the right with one
+			// more hop on its counter, and vice versa.  Messages that already
+			// reached the target distance die out because the loop ends.
+			return step(i+1, relay(fromRight, dec, enc), relay(fromLeft, dec, enc))
+		})
 	}
-	return left, right, nil
+	first := enc(isSource, payload, 1)
+	return step(0, first, first)
 }
 
 // relay re-encodes a received message with an incremented hop counter.
@@ -88,6 +106,12 @@ func relay(w uint64, dec func(uint64) (bool, uint64, int), enc func(bool, uint64
 	return enc(true, payload, hops+1)
 }
 
+// maxResult carries AggregateMax's result through the blocking wrapper.
+type maxResult struct {
+	max   uint64
+	found bool
+}
+
 // AggregateMax floods source values up to the given ring distance and returns
 // the maximum value among all sources within that distance of this agent
 // (including the agent itself when it is a source).  found reports whether
@@ -95,15 +119,25 @@ func relay(w uint64, dec func(uint64) (bool, uint64, int), enc func(bool, uint64
 //
 // Cost: distance relay steps of 8·(1+valueBits) rounds each.
 func (l *Link) AggregateMax(isSource bool, value uint64, valueBits, distance int) (max uint64, found bool, err error) {
+	r, err := engine.RunStep(l.frame.Agent(), func(k func(maxResult) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return l.AggregateMaxStep(isSource, value, valueBits, distance, func(max uint64, found bool) (engine.Yield, engine.Cont) {
+			return k(maxResult{max: max, found: found})
+		})
+	})
+	return r.max, r.found, err
+}
+
+// AggregateMaxStep is the machine form of AggregateMax.
+func (l *Link) AggregateMaxStep(isSource bool, value uint64, valueBits, distance int, k func(max uint64, found bool) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	if distance < 1 {
-		return 0, false, fmt.Errorf("rcomm: aggregation distance must be positive, got %d", distance)
+		return engine.Abort(fmt.Errorf("rcomm: aggregation distance must be positive, got %d", distance))
 	}
 	if valueBits < 1 {
-		return 0, false, fmt.Errorf("rcomm: valueBits must be positive, got %d", valueBits)
+		return engine.Abort(fmt.Errorf("rcomm: valueBits must be positive, got %d", valueBits))
 	}
 	msgBits := 1 + valueBits
 	if 2*msgBits > 62 {
-		return 0, false, fmt.Errorf("%w: message of %d bits", ErrBadBits, msgBits)
+		return engine.Abort(fmt.Errorf("%w: message of %d bits", ErrBadBits, msgBits))
 	}
 	enc := func(present bool, v uint64) uint64 {
 		if !present {
@@ -117,6 +151,8 @@ func (l *Link) AggregateMax(isSource bool, value uint64, valueBits, distance int
 		}
 		return true, w >> 1
 	}
+	var max uint64
+	var found bool
 	if isSource {
 		max, found = value, true
 	}
@@ -124,29 +160,32 @@ func (l *Link) AggregateMax(isSource bool, value uint64, valueBits, distance int
 	// hops on our left side; it is what we forward to the right.
 	bestFromLeft := enc(isSource, value)
 	bestFromRight := bestFromLeft
-	for step := 0; step < distance; step++ {
-		fromLeft, fromRight, err := l.Exchange(bestFromRight, bestFromLeft, msgBits)
-		if err != nil {
-			return 0, false, err
+	var step func(i int) (engine.Yield, engine.Cont)
+	step = func(i int) (engine.Yield, engine.Cont) {
+		if i == distance {
+			return k(max, found)
 		}
-		if present, v := dec(fromLeft); present {
-			if !found || v > max {
-				max, found = v, true
+		return l.ExchangeStep(bestFromRight, bestFromLeft, msgBits, func(fromLeft, fromRight uint64) (engine.Yield, engine.Cont) {
+			if present, v := dec(fromLeft); present {
+				if !found || v > max {
+					max, found = v, true
+				}
+				if p, cur := dec(bestFromLeft); !p || v > cur {
+					bestFromLeft = enc(true, v)
+				}
 			}
-			if p, cur := dec(bestFromLeft); !p || v > cur {
-				bestFromLeft = enc(true, v)
+			if present, v := dec(fromRight); present {
+				if !found || v > max {
+					max, found = v, true
+				}
+				if p, cur := dec(bestFromRight); !p || v > cur {
+					bestFromRight = enc(true, v)
+				}
 			}
-		}
-		if present, v := dec(fromRight); present {
-			if !found || v > max {
-				max, found = v, true
-			}
-			if p, cur := dec(bestFromRight); !p || v > cur {
-				bestFromRight = enc(true, v)
-			}
-		}
+			return step(i + 1)
+		})
 	}
-	return max, found, nil
+	return step(0)
 }
 
 // bitsFor returns the number of bits needed to represent values in [0..v].

@@ -17,9 +17,9 @@ type Link struct {
 	frame *core.Frame
 	nb    Neighbors
 
-	// Scratch buffers reused by the batched exchange primitives.
+	// schedBuf is the schedule scratch reused by the batched exchange
+	// primitives.
 	schedBuf []ring.Direction
-	obsBuf   []engine.Observation
 }
 
 // NewLink builds a Link for the given frame from its neighbour information.
@@ -35,6 +35,13 @@ func Establish(f *core.Frame) (*Link, error) {
 		return nil, err
 	}
 	return NewLink(f, nb), nil
+}
+
+// EstablishStep is the machine form of Establish.
+func EstablishStep(f *core.Frame, k func(*Link) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+	return NeighborDiscoveryStep(f, func(nb Neighbors) (engine.Yield, engine.Cont) {
+		return k(NewLink(f, nb))
+	})
 }
 
 // Frame returns the frame the link operates on.
@@ -112,6 +119,11 @@ func decodeNeighbourBit(round int, towards, movedCWTowardsUs bool) int {
 	return 0
 }
 
+// wordPair carries the two directions' words through the blocking wrappers.
+type wordPair struct {
+	left, right uint64
+}
+
 // ExchangeWord transmits a word of the given width (LSB first) to both
 // neighbours and returns the words received from the left and right
 // neighbours.  Cost: 4·bits rounds.
@@ -122,52 +134,69 @@ func decodeNeighbourBit(round int, towards, movedCWTowardsUs bool) int {
 // returned trace.  The round sequence is identical to bit-by-bit exchange,
 // so the configuration-restoring property is preserved.
 func (l *Link) ExchangeWord(word uint64, bits int) (left, right uint64, err error) {
+	p, err := engine.RunStep(l.frame.Agent(), func(k func(wordPair) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return l.ExchangeWordStep(word, bits, func(left, right uint64) (engine.Yield, engine.Cont) {
+			return k(wordPair{left: left, right: right})
+		})
+	})
+	return p.left, p.right, err
+}
+
+// ExchangeWordStep is the machine form of ExchangeWord.
+func (l *Link) ExchangeWordStep(word uint64, bits int, k func(left, right uint64) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	if bits <= 0 || bits > 63 {
-		return 0, 0, fmt.Errorf("%w: %d bits", ErrBadBits, bits)
+		return engine.Abort(fmt.Errorf("%w: %d bits", ErrBadBits, bits))
 	}
 	sched := l.schedBuf[:0]
 	for i := 0; i < bits; i++ {
 		sched = appendBitSchedule(sched, (word>>i)&1)
 	}
 	l.schedBuf = sched
-	trace, err := l.frame.RoundSchedule(sched, l.obsBuf[:0])
-	if err != nil {
-		return 0, 0, err
-	}
-	l.obsBuf = trace
-	for i := 0; i < bits; i++ {
-		lb, rb := l.decodeBitExchange((word>>i)&1, trace[4*i], trace[4*i+2])
-		left |= uint64(lb) << i
-		right |= uint64(rb) << i
-	}
-	return left, right, nil
+	return l.frame.RoundScheduleStep(sched, func(trace []engine.Observation) (engine.Yield, engine.Cont) {
+		var left, right uint64
+		for i := 0; i < bits; i++ {
+			lb, rb := l.decodeBitExchange((word>>i)&1, trace[4*i], trace[4*i+2])
+			left |= uint64(lb) << i
+			right |= uint64(rb) << i
+		}
+		return k(left, right)
+	})
 }
 
 // Exchange transmits possibly different words to the left and right
 // neighbours (each of the given width) and returns the words each neighbour
 // addressed to this agent.  Cost: 8·bits rounds.
 func (l *Link) Exchange(toLeft, toRight uint64, bits int) (fromLeft, fromRight uint64, err error) {
+	p, err := engine.RunStep(l.frame.Agent(), func(k func(wordPair) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return l.ExchangeStep(toLeft, toRight, bits, func(fromLeft, fromRight uint64) (engine.Yield, engine.Cont) {
+			return k(wordPair{left: fromLeft, right: fromRight})
+		})
+	})
+	return p.left, p.right, err
+}
+
+// ExchangeStep is the machine form of Exchange.
+func (l *Link) ExchangeStep(toLeft, toRight uint64, bits int, k func(fromLeft, fromRight uint64) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	if bits <= 0 || 2*bits > 62 {
-		return 0, 0, fmt.Errorf("%w: %d bits per side", ErrBadBits, bits)
+		return engine.Abort(fmt.Errorf("%w: %d bits per side", ErrBadBits, bits))
 	}
 	mask := uint64(1)<<bits - 1
 	packed := (toRight & mask) | (toLeft&mask)<<bits
-	leftWord, rightWord, err := l.ExchangeWord(packed, 2*bits)
-	if err != nil {
-		return 0, 0, err
-	}
-	// Our left neighbour packed [its toRight | its toLeft<<bits].  We are its
-	// right neighbour exactly when it has the same sense of direction.
-	if l.nb.LeftSameSense {
-		fromLeft = leftWord & mask
-	} else {
-		fromLeft = (leftWord >> bits) & mask
-	}
-	// Our right neighbour: we are its left neighbour when senses agree.
-	if l.nb.RightSameSense {
-		fromRight = (rightWord >> bits) & mask
-	} else {
-		fromRight = rightWord & mask
-	}
-	return fromLeft, fromRight, nil
+	return l.ExchangeWordStep(packed, 2*bits, func(leftWord, rightWord uint64) (engine.Yield, engine.Cont) {
+		var fromLeft, fromRight uint64
+		// Our left neighbour packed [its toRight | its toLeft<<bits].  We are
+		// its right neighbour exactly when it has the same sense of direction.
+		if l.nb.LeftSameSense {
+			fromLeft = leftWord & mask
+		} else {
+			fromLeft = (leftWord >> bits) & mask
+		}
+		// Our right neighbour: we are its left neighbour when senses agree.
+		if l.nb.RightSameSense {
+			fromRight = (rightWord >> bits) & mask
+		} else {
+			fromRight = rightWord & mask
+		}
+		return k(fromLeft, fromRight)
+	})
 }

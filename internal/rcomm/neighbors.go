@@ -21,6 +21,7 @@ import (
 
 	"ringsym/internal/comb"
 	"ringsym/internal/core"
+	"ringsym/internal/engine"
 	"ringsym/internal/ring"
 )
 
@@ -58,48 +59,42 @@ type Neighbors struct {
 //
 // Cost: 4·⌈log2 N⌉ + 4 rounds.  Positions are restored afterwards.
 func NeighborDiscovery(f *core.Frame) (Neighbors, error) {
+	return engine.RunStep(f.Agent(), func(k func(Neighbors) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return NeighborDiscoveryStep(f, k)
+	})
+}
+
+// NeighborDiscoveryStep is the machine form of NeighborDiscovery.
+func NeighborDiscoveryStep(f *core.Frame, k func(Neighbors) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	if !f.Agent().Model().RevealsCollision() {
-		return Neighbors{}, ErrNeedPerceptive
+		return engine.Abort(ErrNeedPerceptive)
 	}
 	type probe struct {
 		movedCW bool  // whether this agent moved frame-clockwise
 		allSame bool  // whether the round was an all-same-direction round
 		coll    int64 // first-collision arc, -1 when no collision
 	}
-	var probes []probe
-
-	record := func(dir ring.Direction, allSame bool) error {
-		obs, err := f.RoundPair(dir)
-		if err != nil {
-			return err
-		}
-		coll := int64(-1)
-		if obs.Collided {
-			coll = obs.Coll
-		}
-		probes = append(probes, probe{movedCW: dir == ring.Clockwise, allSame: allSame, coll: coll})
-		return nil
+	type probeSpec struct {
+		dir     ring.Direction
+		allSame bool
 	}
 
 	bits := comb.Bits(f.IDBound())
+	specs := make([]probeSpec, 0, 2*bits+2)
 	for i := 1; i <= bits; i++ {
 		for phase := 0; phase <= 1; phase++ {
 			dir := ring.Anticlockwise
 			if core.IDBit(f.ID(), i) == phase {
 				dir = ring.Clockwise
 			}
-			if err := record(dir, false); err != nil {
-				return Neighbors{}, err
-			}
+			specs = append(specs, probeSpec{dir: dir})
 		}
 	}
-	if err := record(ring.Clockwise, true); err != nil {
-		return Neighbors{}, err
-	}
-	if err := record(ring.Anticlockwise, true); err != nil {
-		return Neighbors{}, err
-	}
+	specs = append(specs,
+		probeSpec{dir: ring.Clockwise, allSame: true},
+		probeSpec{dir: ring.Anticlockwise, allSame: true})
 
+	probes := make([]probe, 0, len(specs))
 	side := func(cw bool) (gap int64, sameSense bool, err error) {
 		min := int64(-1)
 		allSameColl := int64(-1)
@@ -129,13 +124,28 @@ func NeighborDiscovery(f *core.Frame) (Neighbors, error) {
 		return 2 * min, allSameColl != min, nil
 	}
 
-	var nb Neighbors
-	var err error
-	if nb.RightGap, nb.RightSameSense, err = side(true); err != nil {
-		return Neighbors{}, err
+	var next func(i int) (engine.Yield, engine.Cont)
+	next = func(i int) (engine.Yield, engine.Cont) {
+		if i == len(specs) {
+			var nb Neighbors
+			var err error
+			if nb.RightGap, nb.RightSameSense, err = side(true); err != nil {
+				return engine.Abort(err)
+			}
+			if nb.LeftGap, nb.LeftSameSense, err = side(false); err != nil {
+				return engine.Abort(err)
+			}
+			return k(nb)
+		}
+		sp := specs[i]
+		return f.RoundPairStep(sp.dir, func(obs engine.Observation) (engine.Yield, engine.Cont) {
+			coll := int64(-1)
+			if obs.Collided {
+				coll = obs.Coll
+			}
+			probes = append(probes, probe{movedCW: sp.dir == ring.Clockwise, allSame: sp.allSame, coll: coll})
+			return next(i + 1)
+		})
 	}
-	if nb.LeftGap, nb.LeftSameSense, err = side(false); err != nil {
-		return Neighbors{}, err
-	}
-	return nb, nil
+	return next(0)
 }

@@ -2,6 +2,8 @@ package rcomm
 
 import (
 	"fmt"
+
+	"ringsym/internal/engine"
 )
 
 // DisseminateSparse implements the sparse information dissemination task of
@@ -22,11 +24,21 @@ import (
 //
 // Cost: (1 + payloadBits + distance) relay steps of 8 rounds each.
 func (l *Link) DisseminateSparse(isSource bool, payload uint64, payloadBits, distance int) (left, right SideInfo, err error) {
+	p, err := engine.RunStep(l.frame.Agent(), func(k func(sidePair) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
+		return l.DisseminateSparseStep(isSource, payload, payloadBits, distance, func(left, right SideInfo) (engine.Yield, engine.Cont) {
+			return k(sidePair{left: left, right: right})
+		})
+	})
+	return p.left, p.right, err
+}
+
+// DisseminateSparseStep is the machine form of DisseminateSparse.
+func (l *Link) DisseminateSparseStep(isSource bool, payload uint64, payloadBits, distance int, k func(left, right SideInfo) (engine.Yield, engine.Cont)) (engine.Yield, engine.Cont) {
 	if distance < 1 {
-		return SideInfo{}, SideInfo{}, fmt.Errorf("rcomm: dissemination distance must be positive, got %d", distance)
+		return engine.Abort(fmt.Errorf("rcomm: dissemination distance must be positive, got %d", distance))
 	}
 	if payloadBits < 1 || payloadBits > 60 {
-		return SideInfo{}, SideInfo{}, fmt.Errorf("%w: %d payload bits", ErrBadBits, payloadBits)
+		return engine.Abort(fmt.Errorf("%w: %d payload bits", ErrBadBits, payloadBits))
 	}
 	steps := 1 + payloadBits + distance
 
@@ -83,22 +95,6 @@ func (l *Link) DisseminateSparse(isSource bool, payload uint64, payloadBits, dis
 		}
 	}
 
-	for step := 1; step <= steps; step++ {
-		outL := nextBit(&toLeft)
-		outR := nextBit(&toRight)
-		gotL, gotR, err := l.Exchange(uint64(outL), uint64(outR), 1)
-		if err != nil {
-			return SideInfo{}, SideInfo{}, err
-		}
-		record(&fromLeft, int(gotL&1), step)
-		record(&fromRight, int(gotR&1), step)
-		if !isSource {
-			// Relay with a one-step delay: what arrived from the left goes
-			// out to the right next step, and vice versa.
-			toRight = append(toRight, int(gotL&1))
-			toLeft = append(toLeft, int(gotR&1))
-		}
-	}
 	// A receiver only reports sources whose full payload arrived within the
 	// distance budget.
 	clip := func(r recv) SideInfo {
@@ -107,5 +103,25 @@ func (l *Link) DisseminateSparse(isSource bool, payload uint64, payloadBits, dis
 		}
 		return r.info
 	}
-	return clip(fromLeft), clip(fromRight), nil
+
+	var relayStep func(step int) (engine.Yield, engine.Cont)
+	relayStep = func(step int) (engine.Yield, engine.Cont) {
+		if step > steps {
+			return k(clip(fromLeft), clip(fromRight))
+		}
+		outL := nextBit(&toLeft)
+		outR := nextBit(&toRight)
+		return l.ExchangeStep(uint64(outL), uint64(outR), 1, func(gotL, gotR uint64) (engine.Yield, engine.Cont) {
+			record(&fromLeft, int(gotL&1), step)
+			record(&fromRight, int(gotR&1), step)
+			if !isSource {
+				// Relay with a one-step delay: what arrived from the left goes
+				// out to the right next step, and vice versa.
+				toRight = append(toRight, int(gotL&1))
+				toLeft = append(toLeft, int(gotR&1))
+			}
+			return relayStep(step + 1)
+		})
+	}
+	return relayStep(1)
 }

@@ -204,6 +204,47 @@ func New(cfg Config) (*State, error) {
 	}, nil
 }
 
+// Reset re-initialises the state in place for a new configuration, reusing
+// the slot, gap and executor scratch capacity of the previous one.  It
+// validates exactly like New and leaves the state unchanged on error.  Reset
+// exists for scenario sweeps (the campaign runner): retiring one small
+// configuration per run and rebuilding the state object thousands of times
+// per second is pure allocation overhead.
+func (s *State) Reset(cfg Config) error {
+	if !cfg.Model.Valid() {
+		return ErrInvalidModel
+	}
+	circle, err := geom.New(cfg.Circ)
+	if err != nil {
+		return fmt.Errorf("ring: %w", err)
+	}
+	n := len(cfg.Positions)
+	if n < 2 {
+		return ErrAllowSmallMissing
+	}
+	if n <= 4 && !cfg.AllowSmall {
+		return fmt.Errorf("%w: n=%d", ErrTooFewAgents, n)
+	}
+	if !geom.SortedDistinct(cfg.Circ, cfg.Positions) {
+		return ErrBadPositions
+	}
+	s.model = cfg.Model
+	s.circle = circle
+	if cap(s.slots) < n {
+		s.slots = make([]int64, n)
+		s.gaps = make([]int64, n)
+	}
+	s.slots = s.slots[:n]
+	copy(s.slots, cfg.Positions)
+	s.gaps = s.gaps[:n]
+	for i := 0; i < n; i++ {
+		s.gaps[i] = circle.CWDist(s.slots[i], s.slots[(i+1)%n])
+	}
+	s.offset = 0
+	s.rounds = 0
+	return nil
+}
+
 // N returns the number of agents.
 func (s *State) N() int { return len(s.slots) }
 

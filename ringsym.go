@@ -13,8 +13,10 @@
 //
 // This package is the public facade over the full implementation:
 //
-//   - Network wraps a simulated ring of agents (exact integer geometry,
-//     goroutine-per-agent synchronous runtime);
+//   - Network wraps a simulated ring of agents (exact integer geometry; the
+//     default runtime steps every agent's protocol as a resumable state
+//     machine on one scheduler goroutine, with the older goroutine-per-agent
+//     runtimes selectable per call);
 //   - Coordinate runs the symmetry-breaking pipeline of the paper
 //     (nontrivial move → direction agreement → leader election);
 //   - DiscoverLocations runs location discovery with the best algorithm for
@@ -65,6 +67,28 @@ const (
 
 // Agent is the handle a protocol uses to act in the network.
 type Agent = engine.Agent
+
+// Runtime selects the synchronisation substrate a pipeline runs on.  All
+// runtimes produce byte-identical observations, outputs and round counts;
+// they differ only in scheduling cost.
+type Runtime = engine.Runtime
+
+// Runtimes.
+const (
+	// RuntimeDefault resolves to the process-wide default (the FSM scheduler
+	// unless overridden with SetDefaultRuntime).
+	RuntimeDefault = engine.RuntimeDefault
+	// RuntimeFSM is the v3 single-goroutine scheduler over resumable state
+	// machines.
+	RuntimeFSM = engine.RuntimeFSM
+	// RuntimeBarrier is the v2 goroutine-per-agent barrier runtime.
+	RuntimeBarrier = engine.RuntimeBarrier
+	// RuntimeLegacy is the v1 channel-rendezvous runtime (no cancellation).
+	RuntimeLegacy = engine.RuntimeLegacy
+)
+
+// SetDefaultRuntime changes what RuntimeDefault resolves to, process-wide.
+func SetDefaultRuntime(rt Runtime) { engine.SetDefaultRuntime(rt) }
 
 // Observation is what an agent learns at the end of a round.
 type Observation = engine.Observation
@@ -156,6 +180,24 @@ func RandomNetwork(cfg RandomConfig) (*Network, error) {
 	return &Network{nw: nw}, nil
 }
 
+// Reset re-initialises the network in place with a new configuration, reusing
+// the previous network's ring state, agent objects and scratch buffers.  It
+// validates exactly like NewNetwork; on error the network may be left
+// partially updated and must be discarded.  Scenario sweeps (the campaign
+// runner) use it to retire one configuration per run without rebuilding the
+// network object.
+func (n *Network) Reset(cfg Config) error {
+	return n.nw.Reset(engine.Config{
+		Model:     cfg.Model,
+		Circ:      cfg.Circumference,
+		Positions: cfg.Positions,
+		IDs:       cfg.IDs,
+		IDBound:   cfg.IDBound,
+		Chirality: cfg.Chirality,
+		MaxRounds: cfg.MaxRounds,
+	})
+}
+
 // N returns the number of agents.
 func (n *Network) N() int { return n.nw.N() }
 
@@ -209,6 +251,8 @@ type CoordinationOptions struct {
 	// UsePerceptiveAlgorithms selects the O(√n·log N) Section V algorithms
 	// when the model is perceptive (default true for perceptive networks).
 	DisablePerceptiveAlgorithms bool
+	// Runtime selects the engine runtime (default: the FSM scheduler).
+	Runtime Runtime `json:"-"`
 }
 
 // AgentCoordination is one agent's coordination outcome.
@@ -241,12 +285,42 @@ func (n *Network) Coordinate(opts CoordinationOptions) (*CoordinationResult, err
 // the pipeline within one round.
 func (n *Network) CoordinateContext(ctx context.Context, opts CoordinationOptions) (*CoordinationResult, error) {
 	usePerceptive := n.Model() == Perceptive && !opts.DisablePerceptiveAlgorithms && !opts.CommonSense
-	outputs, rounds, err := RunContext(ctx, n, func(a *Agent) (*core.Coordination, error) {
-		if usePerceptive {
-			return perceptive.Coordinate(a, perceptive.Options{Seed: opts.Seed})
+	var (
+		outputs []*core.Coordination
+		rounds  int
+		err     error
+	)
+	switch opts.Runtime.Resolve() {
+	case engine.RuntimeFSM:
+		var res *engine.Result[*core.Coordination]
+		res, err = engine.RunFSMContext(ctx, n.nw, func(a *Agent) *engine.Proto[*core.Coordination] {
+			if usePerceptive {
+				return perceptive.CoordinateMachine(a, perceptive.Options{Seed: opts.Seed})
+			}
+			return core.CoordinateMachine(a, core.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
+		})
+		if res != nil {
+			outputs, rounds = res.Outputs, res.Rounds
 		}
-		return core.Coordinate(a, core.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
-	})
+	case engine.RuntimeLegacy:
+		var res *engine.Result[*core.Coordination]
+		res, err = engine.RunLegacy(n.nw, func(a *Agent) (*core.Coordination, error) {
+			if usePerceptive {
+				return perceptive.Coordinate(a, perceptive.Options{Seed: opts.Seed})
+			}
+			return core.Coordinate(a, core.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
+		})
+		if res != nil {
+			outputs, rounds = res.Outputs, res.Rounds
+		}
+	default:
+		outputs, rounds, err = RunContext(ctx, n, func(a *Agent) (*core.Coordination, error) {
+			if usePerceptive {
+				return perceptive.Coordinate(a, perceptive.Options{Seed: opts.Seed})
+			}
+			return core.Coordinate(a, core.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -277,6 +351,8 @@ type DiscoveryOptions struct {
 	CommonSense bool
 	// Seed drives the pseudo-random schedules.
 	Seed int64
+	// Runtime selects the engine runtime (default: the FSM scheduler).
+	Runtime Runtime `json:"-"`
 }
 
 // AgentDiscovery is one agent's location-discovery outcome.
@@ -316,9 +392,34 @@ func (n *Network) DiscoverLocations(opts DiscoveryOptions) (*DiscoveryResult, er
 // cancelled ctx aborts the protocol within one round.
 func (n *Network) DiscoverLocationsContext(ctx context.Context, opts DiscoveryOptions) (*DiscoveryResult, error) {
 	start := n.nw.CurrentPositions()
-	outputs, rounds, err := RunContext(ctx, n, func(a *Agent) (*discovery.Result, error) {
-		return discovery.LocationDiscovery(a, discovery.Options{CommonSense: opts.CommonSense, Seed: opts.Seed})
-	})
+	dopts := discovery.Options{CommonSense: opts.CommonSense, Seed: opts.Seed}
+	var (
+		outputs []*discovery.Result
+		rounds  int
+		err     error
+	)
+	switch opts.Runtime.Resolve() {
+	case engine.RuntimeFSM:
+		var res *engine.Result[*discovery.Result]
+		res, err = engine.RunFSMContext(ctx, n.nw, func(a *Agent) *engine.Proto[*discovery.Result] {
+			return discovery.LocationDiscoveryMachine(a, dopts)
+		})
+		if res != nil {
+			outputs, rounds = res.Outputs, res.Rounds
+		}
+	case engine.RuntimeLegacy:
+		var res *engine.Result[*discovery.Result]
+		res, err = engine.RunLegacy(n.nw, func(a *Agent) (*discovery.Result, error) {
+			return discovery.LocationDiscovery(a, dopts)
+		})
+		if res != nil {
+			outputs, rounds = res.Outputs, res.Rounds
+		}
+	default:
+		outputs, rounds, err = RunContext(ctx, n, func(a *Agent) (*discovery.Result, error) {
+			return discovery.LocationDiscovery(a, dopts)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
