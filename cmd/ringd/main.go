@@ -10,6 +10,9 @@
 //	ringd -addr 127.0.0.1:9090 -cache off
 //	ringd -cache 100000 -workers 8     # cache bounded to ~100k outcomes
 //	ringd -join coord:9999             # register with a fleet coordinator
+//	ringd -store /var/lib/ringd        # persist results; warm-start on boot
+//	ringd -store dir -peers host:8080  # serve misses from a peer's store
+//	ringd -store dir -store-stats      # one-shot store dump (JSON), then exit
 //
 // Endpoints (see internal/serve):
 //
@@ -28,6 +31,15 @@
 // coordinator (see internal/fleet) and heartbeats for as long as it runs;
 // -advertise overrides the base URL the coordinator dials back (it defaults
 // to http://127.0.0.1:<port> of -addr, which is only right on one machine).
+//
+// With -store, outcomes additionally persist in a disk-backed
+// content-addressed store (internal/store): the daemon warm-starts from the
+// directory on boot (a restart serves previously seen orbits with zero
+// computation), serves single records to fleet peers on GET /v1/cache/<key>,
+// and — with -peers, or automatically through the -join roster — fetches
+// records it lacks from its peers before computing.  -store-max caps the
+// directory size (oldest segments evicted first); -store-stats prints the
+// store's segment/index statistics as JSON and exits without serving.
 //
 // The daemon sheds load instead of queueing unboundedly: once -maxpending
 // scenarios are queued or running, /v1/run and /v1/campaign answer 429 with
@@ -51,10 +63,13 @@ import (
 	"syscall"
 	"time"
 
+	"encoding/json"
+
 	"ringsym/internal/campaign"
 	"ringsym/internal/fleet"
 	"ringsym/internal/fleet/worker"
 	"ringsym/internal/serve"
+	"ringsym/internal/store"
 )
 
 func main() {
@@ -72,6 +87,10 @@ func main() {
 	maxPending := flag.Int("maxpending", 1024, "admission control: queued+running scenarios above which /v1/run and /v1/campaign answer 429 (0 disables)")
 	join := flag.String("join", "", "fleet coordinator base URL to register with (host:port or http://host:port)")
 	advertise := flag.String("advertise", "", "base URL the coordinator dials this daemon at (default http://127.0.0.1:<port of -addr>)")
+	storeDir := flag.String("store", "", "directory of the persistent result store (off when empty; requires the cache)")
+	storeMax := flag.Int64("store-max", 0, "store size cap in bytes; oldest segments evicted first (0 = unbounded)")
+	peersFlag := flag.String("peers", "", "comma-separated peer daemons whose stores serve this daemon's misses (requires -store)")
+	storeStats := flag.Bool("store-stats", false, "print the store's statistics as JSON and exit (requires -store)")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -96,6 +115,28 @@ func main() {
 	if err != nil {
 		usageError(err)
 	}
+	if *storeMax < 0 {
+		usageError(fmt.Errorf("invalid -store-max %d (must be >= 0; 0 means unbounded)", *storeMax))
+	}
+	if *storeDir == "" {
+		if *storeMax != 0 {
+			usageError(errors.New("-store-max is only meaningful with -store"))
+		}
+		if *peersFlag != "" {
+			usageError(errors.New("-peers is only meaningful with -store"))
+		}
+		if *storeStats {
+			usageError(errors.New("-store-stats is only meaningful with -store"))
+		}
+	} else if cache == nil {
+		usageError(errors.New("-store requires the cache (the store is its second tier); drop -cache off"))
+	}
+	var peerAddrs []string
+	if *peersFlag != "" {
+		if peerAddrs, err = fleet.ParseWorkers(*peersFlag); err != nil {
+			usageError(fmt.Errorf("invalid -peers %q: %v", *peersFlag, err))
+		}
+	}
 	var coordinator, selfURL string
 	if *join != "" {
 		coords, err := fleet.ParseWorkers(*join)
@@ -116,6 +157,33 @@ func main() {
 		usageError(fmt.Errorf("-advertise is only meaningful with -join"))
 	}
 
+	var st *store.Store
+	var peers *store.Peers
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *storeStats {
+			// One-shot ops dump: segments, live/garbage bytes, index entries.
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(st.Stats())
+			st.Close()
+			return
+		}
+		log.Printf("store %s: %d records in %d segments warm-started",
+			*storeDir, st.Stats().IndexEntries, st.Stats().Segments)
+		// The peer fetcher exists whenever peers can arrive — statically via
+		// -peers or dynamically through the fleet join roster — and excludes
+		// this daemon's own advertise URL from every fan-out.
+		if len(peerAddrs) > 0 || coordinator != "" {
+			peers = store.NewPeers(selfURL, nil)
+			peers.Set(peerAddrs)
+		}
+		cache.AttachTier(st, peers)
+	}
+
 	pool := serve.New(serve.Options{
 		Workers:    *workers,
 		Cache:      cache,
@@ -124,6 +192,7 @@ func main() {
 		MaxN:       *maxN,
 		Pprof:      *pprofFlag,
 		MaxPending: *maxPending,
+		Store:      st,
 	})
 	// No WriteTimeout here: it would cap the total duration of a streaming
 	// /v1/campaign response; internal/serve bounds each record write with
@@ -147,7 +216,13 @@ func main() {
 	log.Printf("serving on %s (cache %s)", *addr, cacheState)
 	if coordinator != "" {
 		log.Printf("joining fleet coordinator %s as %s", coordinator, selfURL)
-		go worker.Start(ctx, worker.Options{Coordinator: coordinator, Advertise: selfURL, Logf: log.Printf})
+		wopts := worker.Options{Coordinator: coordinator, Advertise: selfURL, Logf: log.Printf}
+		if peers != nil {
+			// Fleet-roster peer discovery: every join/heartbeat refreshes
+			// the store-peer list with the coordinator's current fleet.
+			wopts.OnPeers = func(addrs []string) { peers.Set(append(addrs, peerAddrs...)) }
+		}
+		go worker.Start(ctx, wopts)
 	}
 
 	select {
@@ -166,9 +241,18 @@ func main() {
 		}
 		pool.Close()
 		if cache != nil {
-			st := cache.Stats()
-			log.Printf("cache at exit: %d entries, %d hits, %d misses, %d dedups, %d evictions",
-				st.Entries, st.Hits, st.Misses, st.Dedups, st.Evictions)
+			cst := cache.Stats()
+			log.Printf("cache at exit: %d entries, %d hits, %d misses, %d dedups, %d disk, %d peer, %d evictions",
+				cst.Entries, cst.Hits, cst.Misses, cst.Dedups, cst.DiskHits, cst.PeerHits, cst.Evictions)
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			} else {
+				sst := st.Stats()
+				log.Printf("store at exit: %d records in %d segments (%d live bytes, %d garbage)",
+					sst.IndexEntries, sst.Segments, sst.LiveBytes, sst.GarbageBytes)
+			}
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {

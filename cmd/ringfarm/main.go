@@ -14,6 +14,7 @@
 //	ringfarm -spec sweep.json -shard 0/4 -out sweep-shard0/
 //	ringfarm -sizes 16 -dryrun          # list the scenarios and exit
 //	ringfarm -sizes 16 -phases 0:7 -reflect -cache on
+//	ringfarm -sizes 16 -cache on -store results.store
 //	ringfarm -sizes 32 -seeds 1:50 -top          # live top view while running
 //	ringfarm -sizes 16 -events sweep.events.ndjson
 //	ringfarm top -url http://localhost:8080      # watch a running ringd
@@ -31,7 +32,10 @@
 // reflections and frame translations of one ring — such as the variants a
 // -phases/-reflect sweep enumerates — are computed once and the summary
 // artefacts gain per-setting miss/hit/dedup columns.  The default -cache off
-// keeps the artefacts byte-identical to cache-less builds.
+// keeps the artefacts byte-identical to cache-less builds.  Adding
+// -store <dir> backs the cache with the persistent result store of
+// internal/store — the same directory a ringd -store daemon uses — so a
+// repeated sweep is served from disk instead of recomputed.
 //
 // A spec file is the JSON form of the matrix, e.g.:
 //
@@ -71,6 +75,7 @@ import (
 	"ringsym/internal/campaign"
 	"ringsym/internal/engine"
 	"ringsym/internal/fleet"
+	"ringsym/internal/store"
 	"ringsym/internal/task"
 )
 
@@ -103,6 +108,7 @@ func main() {
 	lease := flag.Int("lease", 0, "fleet mode: scenario indices per lease (default: auto, total/(4*workers))")
 	fleetListen := flag.String("fleet-listen", "", "fleet mode: serve the coordinator control plane (worker join/heartbeat) on this address")
 	cacheFlag := flag.String("cache", "off", "memoise outcomes under their canonical symmetry key: off, on, or a capacity in entries")
+	storeDir := flag.String("store", "", "back the cache with the on-disk result store in this directory (shared with ringd -store); requires -cache")
 	out := flag.String("out", "ringfarm-out", "output directory for records.jsonl, summary.csv, summary.md")
 	dryrun := flag.Bool("dryrun", false, "print the scenario list and exit without running")
 	quiet := flag.Bool("quiet", false, "suppress the live progress line on stderr")
@@ -164,6 +170,9 @@ func main() {
 		if *cacheFlag != "off" {
 			usageError(fmt.Errorf("-cache is decided by each ringd worker (its own -cache flag), not by the fleet coordinator"))
 		}
+		if *storeDir != "" {
+			usageError(fmt.Errorf("-store is decided by each ringd worker (its own -store flag), not by the fleet coordinator"))
+		}
 		if *dryrun {
 			for _, sc := range scenarios {
 				fmt.Printf("%6d  %s\n", sc.Index, sc.Key())
@@ -190,7 +199,26 @@ func main() {
 		fmt.Printf("%d scenarios (shard %d/%d of %d)\n", len(scenarios), i, m, total)
 		return
 	}
-	if err := runCampaign(scenarios, i, m, total, workers, *out, *quiet, *top, *events, cache); err != nil {
+	// The store opens after the dryrun exit so listing scenarios never
+	// creates (or locks) a store directory.
+	var st *store.Store
+	if *storeDir != "" {
+		if cache == nil {
+			usageError(fmt.Errorf("-store requires the cache (the store is its second tier); add -cache on"))
+		}
+		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
+			log.Fatal(err)
+		}
+		cache.AttachTier(st, nil)
+		log.Printf("store: %s (%d records on disk)", *storeDir, st.Len())
+	}
+	err = runCampaign(scenarios, i, m, total, workers, *out, *quiet, *top, *events, cache)
+	if st != nil {
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
@@ -309,9 +337,12 @@ func runCampaign(scenarios []campaign.Scenario, shardI, shardM, total, workers i
 		if total := agg.CacheMisses + served; total > 0 {
 			ratio = float64(served) / float64(total)
 		}
-		st := cache.Stats()
+		cs := cache.Stats()
 		fmt.Printf("cache: %d computed, %d served from symmetry (%d hits + %d dedups, dedup ratio %.1f%%), %d evictions\n",
-			agg.CacheMisses, served, agg.CacheHits, agg.CacheDedups, 100*ratio, st.Evictions)
+			agg.CacheMisses, served, agg.CacheHits, agg.CacheDedups, 100*ratio, cs.Evictions)
+		if cs.DiskHits > 0 {
+			fmt.Printf("store: %d outcomes served from disk without computation\n", cs.DiskHits)
+		}
 	}
 	fmt.Printf("artefacts: %s\n", outDir)
 	if agg.Failed > 0 {

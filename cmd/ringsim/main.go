@@ -7,6 +7,7 @@
 //	ringsim -n 16 -model perceptive -mixed -task discover -seed 3
 //	ringsim -n 8 -model lazy -task coordinate
 //	ringsim -n 8 -task coordinate -json | jq .rounds
+//	ringsim -n 8 -task coordinate -store results.store   # reuse ringd's store
 //	ringsim -n 6 -task bounce        # collision census of one physics round
 //	ringsim -tasks                   # list the task registry and exit
 //
@@ -16,6 +17,12 @@
 // emitted as the machine-readable scenario record of the campaign harness
 // (one campaign.Record JSON object, the same shape as a records.jsonl line of
 // cmd/ringfarm), so single runs are scriptable exactly like sweeps.
+//
+// With -store <dir> the run consults (and fills) the persistent result store
+// of internal/store — the same directory a ringd -store daemon or a
+// ringfarm -store sweep uses — and every task, built-ins included, goes
+// through the campaign record path: a disk-served outcome carries the record
+// fields, not the interactive per-agent report, so both print the same shape.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"ringsym"
 	"ringsym/internal/campaign"
+	"ringsym/internal/store"
 	"ringsym/internal/task"
 )
 
@@ -43,6 +51,7 @@ func main() {
 	taskName := flag.String("task", "discover", "task to run: "+strings.Join(task.Names(), ", "))
 	listTasks := flag.Bool("tasks", false, "list the registered tasks and exit")
 	jsonOut := flag.Bool("json", false, "emit the run as a machine-readable campaign record")
+	storeDir := flag.String("store", "", "read/write the outcome through the on-disk result store in this directory (shared with ringd/ringfarm -store)")
 	flag.Parse()
 
 	if *listTasks {
@@ -61,8 +70,31 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// -store routes the run through the campaign record path for every task:
+	// a store-served outcome carries the record fields, not the interactive
+	// per-agent report, so a disk hit and a fresh compute must print the same
+	// shape.  The singleton memory cache exists only to give the store tier a
+	// front — ringsim itself runs one scenario.
+	var opts campaign.Options
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
+			log.Fatal(err)
+		}
+		cache := campaign.NewCache(0)
+		cache.AttachTier(st, nil)
+		opts.Cache = cache
+	}
+	closeStore := func() {
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
 	if *jsonOut {
-		runJSON(campaign.Task(*taskName), *n, *modelName, *mixed, *seed)
+		runJSON(campaign.Task(*taskName), *n, *modelName, *mixed, *seed, opts, closeStore)
 		return
 	}
 
@@ -70,13 +102,20 @@ func main() {
 	// registered task runs through the campaign record path and prints a
 	// generic summary, so new tasks need no ringsim change at all.
 	switch *taskName {
-	case "coordinate":
-		runCoordinate(*n, model, *mixed, *seed)
-	case "discover":
-		runDiscover(*n, model, *mixed, *seed)
+	case "coordinate", "discover":
+		if st == nil {
+			if *taskName == "coordinate" {
+				runCoordinate(*n, model, *mixed, *seed)
+			} else {
+				runDiscover(*n, model, *mixed, *seed)
+			}
+			return
+		}
+		fallthrough
 	default:
-		runGeneric(*taskName, *n, *modelName, *mixed, *seed)
+		runGeneric(*taskName, *n, *modelName, *mixed, *seed, opts)
 	}
+	closeStore()
 }
 
 // scenarioFor assembles the campaign scenario a ringsim invocation denotes.
@@ -98,12 +137,13 @@ func scenarioFor(taskName campaign.Task, n int, model string, mixed bool, seed i
 // request uses — and prints the record as one JSON line.  A failed record
 // still prints (with its error field) but exits nonzero, so scripts can
 // branch on the exit status.
-func runJSON(taskName campaign.Task, n int, model string, mixed bool, seed int64) {
-	rec := campaign.RunScenario(scenarioFor(taskName, n, model, mixed, seed), campaign.Options{})
+func runJSON(taskName campaign.Task, n int, model string, mixed bool, seed int64, opts campaign.Options, closeStore func()) {
+	rec := campaign.RunScenario(scenarioFor(taskName, n, model, mixed, seed), opts)
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(rec); err != nil {
 		log.Fatal(err)
 	}
+	closeStore()
 	if rec.Status == campaign.StatusFailed {
 		os.Exit(1)
 	}
@@ -111,8 +151,8 @@ func runJSON(taskName campaign.Task, n int, model string, mixed bool, seed int64
 
 // runGeneric runs any registry task through the campaign runner and prints a
 // human-readable summary of the record, including the task's extra fields.
-func runGeneric(taskName string, n int, model string, mixed bool, seed int64) {
-	rec := campaign.RunScenario(scenarioFor(campaign.Task(taskName), n, model, mixed, seed), campaign.Options{})
+func runGeneric(taskName string, n int, model string, mixed bool, seed int64, opts campaign.Options) {
+	rec := campaign.RunScenario(scenarioFor(campaign.Task(taskName), n, model, mixed, seed), opts)
 	switch rec.Status {
 	case campaign.StatusFailed:
 		log.Fatal(rec.Error)
@@ -133,7 +173,11 @@ func runGeneric(taskName string, n int, model string, mixed bool, seed int64) {
 	for _, k := range keys {
 		fmt.Printf("%s: %s\n", k, rec.Extra[k])
 	}
-	fmt.Println("outcome verified against the simulator's ground truth")
+	if rec.Cache != "" && rec.Cache != "miss" {
+		fmt.Printf("outcome served from the %s cache tier (verified when first computed)\n", rec.Cache)
+	} else {
+		fmt.Println("outcome verified against the simulator's ground truth")
+	}
 }
 
 func parseModel(name string) (ringsym.Model, error) {

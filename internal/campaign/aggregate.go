@@ -53,6 +53,8 @@ type groupStats struct {
 	cacheMisses int
 	cacheHits   int
 	cacheDedups int
+	cacheDisk   int
+	cachePeer   int
 }
 
 // Aggregator folds a record stream into per-group statistics without
@@ -73,6 +75,11 @@ type Aggregator struct {
 	CacheMisses int
 	CacheHits   int
 	CacheDedups int
+	// CacheDisk / CachePeer count records served by the persistent-store
+	// tier (local disk and fleet peers respectively); zero unless a store
+	// is attached.
+	CacheDisk int
+	CachePeer int
 }
 
 // NewAggregator returns an empty aggregator.
@@ -102,6 +109,12 @@ func (a *Aggregator) Add(rec Record) {
 	case "dedup":
 		a.CacheDedups++
 		g.cacheDedups++
+	case "disk":
+		a.CacheDisk++
+		g.cacheDisk++
+	case "peer":
+		a.CachePeer++
+		g.cachePeer++
 	}
 	switch rec.Status {
 	case StatusFailed:
@@ -148,6 +161,8 @@ type SummaryRow struct {
 	CacheMisses int `json:"cache_misses,omitempty"`
 	CacheHits   int `json:"cache_hits,omitempty"`
 	CacheDedups int `json:"cache_dedups,omitempty"`
+	CacheDisk   int `json:"cache_disk,omitempty"`
+	CachePeer   int `json:"cache_peer,omitempty"`
 }
 
 // Summary returns one row per group, deterministically ordered.
@@ -168,6 +183,8 @@ func (a *Aggregator) Summary() []SummaryRow {
 			CacheMisses: g.cacheMisses,
 			CacheHits:   g.cacheHits,
 			CacheDedups: g.cacheDedups,
+			CacheDisk:   g.cacheDisk,
+			CachePeer:   g.cachePeer,
 		}
 		ok := g.count - g.failed - g.unsolvable
 		if ok > 0 {
@@ -245,7 +262,7 @@ func WriteSummaryCSVCache(w io.Writer, rows []SummaryRow) error {
 func writeSummaryCSV(w io.Writer, rows []SummaryRow, cache bool) error {
 	header := "task,model,parity,chirality,common_sense,n,count,failed,unsolvable,min_rounds,max_rounds,mean_rounds,p50_rounds,p90_rounds,p99_rounds,bound_ratio"
 	if cache {
-		header += ",cache_misses,cache_hits,cache_dedups"
+		header += ",cache_misses,cache_hits,cache_dedups,cache_disk,cache_peer"
 	}
 	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
@@ -260,7 +277,7 @@ func writeSummaryCSV(w io.Writer, rows []SummaryRow, cache bool) error {
 			return err
 		}
 		if cache {
-			if _, err := fmt.Fprintf(w, ",%d,%d,%d", r.CacheMisses, r.CacheHits, r.CacheDedups); err != nil {
+			if _, err := fmt.Fprintf(w, ",%d,%d,%d,%d,%d", r.CacheMisses, r.CacheHits, r.CacheDedups, r.CacheDisk, r.CachePeer); err != nil {
 				return err
 			}
 		}
@@ -286,12 +303,12 @@ func formatSummaryMarkdown(rows []SummaryRow, cache bool) string {
 	var b strings.Builder
 	b.WriteString("| task | model | parity | chirality | common sense | n | count | failed | unsolvable | min | max | mean | p50 | p90 | p99 | obs/bound |")
 	if cache {
-		b.WriteString(" miss | hit | dedup |")
+		b.WriteString(" miss | hit | dedup | disk | peer |")
 	}
 	b.WriteString("\n")
 	b.WriteString("|---|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
 	if cache {
-		b.WriteString("---:|---:|---:|")
+		b.WriteString("---:|---:|---:|---:|---:|")
 	}
 	b.WriteString("\n")
 	for _, r := range rows {
@@ -302,7 +319,7 @@ func formatSummaryMarkdown(rows []SummaryRow, cache bool) string {
 			r.MinRounds, r.MaxRounds, r.MeanRounds,
 			r.P50Rounds, r.P90Rounds, r.P99Rounds, r.BoundRatio)
 		if cache {
-			fmt.Fprintf(&b, " %d | %d | %d |", r.CacheMisses, r.CacheHits, r.CacheDedups)
+			fmt.Fprintf(&b, " %d | %d | %d | %d | %d |", r.CacheMisses, r.CacheHits, r.CacheDedups, r.CacheDisk, r.CachePeer)
 		}
 		b.WriteString("\n")
 	}

@@ -1,0 +1,170 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ringsym/internal/store"
+)
+
+// warmMatrix is the symmetric sweep of the warm-start acceptance bar:
+// sizes 8,12 × seeds 1..5 × phases 0..2 × both reflections across the
+// default task/model/parity/chirality grid — 1440 scenarios collapsing to
+// ~220 computed orbits.
+func warmMatrix() Matrix {
+	return Matrix{
+		Sizes:       []int{8, 12},
+		Seeds:       []int64{1, 2, 3, 4, 5},
+		Phases:      []int{0, 1, 2},
+		Reflections: []bool{false, true},
+	}
+}
+
+// stripVolatile clears the fields that legitimately differ between runs:
+// the wall-clock duration and the cache annotation (which is the one field
+// the warm path is allowed to change).
+func stripVolatile(recs []Record) []Record {
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		r.Wall = 0
+		r.Cache = ""
+		out[i] = r
+	}
+	return out
+}
+
+// TestWarmStartByteIdentity is the warm-start acceptance test: populate a
+// store through a cached sweep, close everything, reopen the same directory
+// under a cold memory cache, and re-serve the full symmetric sweep.  The
+// warm run must execute zero computations (every solvable record is served
+// from disk, memory or an in-flight dedup) and its records must be
+// identical to the cold run's — and to an uncached run's — modulo the
+// cache annotation.
+func TestWarmStartByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 1440-scenario sweep")
+	}
+	scenarios, err := warmMatrix().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 1440 {
+		t.Fatalf("matrix expanded to %d scenarios, want 1440", len(scenarios))
+	}
+	dir := t.TempDir()
+
+	// Cold pass: compute through a cache with the store attached.
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCache(0)
+	cold.AttachTier(st1, nil)
+	coldRecs, err := RunAll(context.Background(), scenarios, Options{Cache: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStats := cold.Stats()
+	if coldStats.Misses == 0 {
+		t.Fatal("cold pass computed nothing")
+	}
+	if coldStats.DiskHits != 0 || coldStats.PeerHits != 0 {
+		t.Fatalf("cold pass on an empty store reported tier hits: %+v", coldStats)
+	}
+	if int(st1.Stats().Puts) != int(coldStats.Misses) {
+		t.Fatalf("write-through: %d puts for %d computes", st1.Stats().Puts, coldStats.Misses)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm pass: same directory, fresh store handle, cold memory.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	warm := NewCache(0)
+	warm.AttachTier(st2, nil)
+	warmRecs, err := RunAll(context.Background(), scenarios, Options{Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmStats := warm.Stats()
+	if warmStats.Misses != 0 {
+		t.Fatalf("warm restart executed %d computations, want 0 (stats %+v)", warmStats.Misses, warmStats)
+	}
+	if warmStats.DiskHits == 0 {
+		t.Fatalf("warm restart never touched the disk tier: %+v", warmStats)
+	}
+	// Exactly one disk promotion per computed orbit: each orbit's first
+	// request goes to disk, the rest are memory hits or dedups.
+	if warmStats.DiskHits != coldStats.Misses {
+		t.Errorf("disk hits = %d, want one per cold-computed orbit (%d)", warmStats.DiskHits, coldStats.Misses)
+	}
+
+	// Byte identity: warm == cold modulo the cache annotation, and every
+	// solvable warm record carries a cache annotation that is not "miss".
+	for _, rec := range warmRecs {
+		if rec.Status == StatusUnsolvable {
+			if rec.Cache != "" {
+				t.Errorf("%s: unsolvable record touched the cache", rec.Key())
+			}
+			continue
+		}
+		switch rec.Cache {
+		case "disk", "hit", "dedup":
+		default:
+			t.Errorf("%s: warm record served as %q, want disk/hit/dedup", rec.Key(), rec.Cache)
+		}
+	}
+	if !reflect.DeepEqual(stripVolatile(warmRecs), stripVolatile(coldRecs)) {
+		t.Error("warm records differ from cold records modulo annotation")
+	}
+}
+
+// TestStoreTierMatchesUncached is the smaller always-on variant: a
+// store-backed cached run equals a plain run record for record, through a
+// close/reopen cycle (so the records compared really crossed the disk
+// encoding).
+func TestStoreTierMatchesUncached(t *testing.T) {
+	scenarios, err := symmetricMatrix().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunAll(context.Background(), scenarios, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCache(0)
+	cold.AttachTier(st1, nil)
+	if _, err := RunAll(context.Background(), scenarios, Options{Cache: cold}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	warm := NewCache(0)
+	warm.AttachTier(st2, nil)
+	warmRecs, err := RunAll(context.Background(), scenarios, Options{Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Misses != 0 {
+		t.Fatalf("warm run recomputed %d scenarios", st.Misses)
+	}
+	if !reflect.DeepEqual(stripVolatile(warmRecs), stripVolatile(plain)) {
+		t.Error("disk-served records differ from computed records modulo annotation")
+	}
+}

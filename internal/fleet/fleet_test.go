@@ -393,12 +393,29 @@ func TestJoinAndHeartbeatHandler(t *testing.T) {
 		t.Fatalf("malformed join: %s, want 400", resp.Status)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, addr := range []string{"http://127.0.0.1:9001", "http://127.0.0.1:9002"} {
 		w, ok := c.roster[addr]
 		if !ok || !w.up || !w.dynamic {
 			t.Errorf("worker %s not registered as a live dynamic worker (%+v)", addr, w)
 		}
+	}
+	c.mu.Unlock()
+
+	// Peer discovery: the join/heartbeat response lists the other up
+	// workers (sorted, requester excluded) for the store-peer fetcher.
+	resp := post("/v1/fleet/heartbeat", "127.0.0.1:9001")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heartbeat: %s", resp.Status)
+	}
+	var jr struct {
+		OK    bool     `json:"ok"`
+		Peers []string `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if !jr.OK || len(jr.Peers) != 1 || jr.Peers[0] != "http://127.0.0.1:9002" {
+		t.Fatalf("heartbeat response = %+v, want the one other worker as peer", jr)
 	}
 }
 

@@ -131,11 +131,23 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	c.addWorkerLocked(addrs[0], true)
+	// Peer discovery piggybacks on the join/heartbeat exchange: the
+	// response lists every other up worker (sorted, so a stable roster
+	// yields a stable list), and the worker feeds it to its store-peer
+	// fetcher.  No extra endpoint, no extra polling cadence — the roster a
+	// worker caches is exactly as fresh as its liveness registration.
+	peers := make([]string, 0, len(c.roster))
+	for _, rw := range c.sortedWorkersLocked() {
+		if rw.up && rw.addr != addrs[0] {
+			peers = append(peers, rw.addr)
+		}
+	}
 	c.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"ok":       true,
 		"interval": c.heartbeatInterval().String(),
+		"peers":    peers,
 	})
 }
 

@@ -36,6 +36,21 @@ type Options struct {
 	Client *http.Client
 	// Logf, when non-nil, receives join/retry diagnostics.
 	Logf func(format string, args ...any)
+	// OnPeers, when non-nil, receives the coordinator's current list of
+	// other up workers after every successful join/heartbeat exchange —
+	// the automatic peer discovery feeding the store-peer fetcher
+	// (internal/store.Peers.Set).  Called with the response's list verbatim
+	// (possibly empty); never called on a failed exchange, so a worker
+	// keeps its last known peers across a coordinator outage.
+	OnPeers func(peers []string)
+}
+
+// joinResponse is the (lenient) shape of a join/heartbeat response; older
+// coordinators omit peers.
+type joinResponse struct {
+	OK       bool     `json:"ok"`
+	Interval string   `json:"interval"`
+	Peers    []string `json:"peers"`
 }
 
 // Start runs the join/heartbeat loop until ctx ends.  It blocks; run it in
@@ -70,6 +85,14 @@ func Start(ctx context.Context, opts Options) {
 		if resp.StatusCode != http.StatusOK {
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
 			return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+		if opts.OnPeers != nil {
+			// Decode leniently: a response without (or with a malformed)
+			// peer list is still a successful registration.
+			var jr joinResponse
+			if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&jr) == nil {
+				opts.OnPeers(jr.Peers)
+			}
 		}
 		return nil
 	}

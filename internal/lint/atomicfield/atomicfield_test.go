@@ -8,5 +8,5 @@ import (
 )
 
 func TestAtomicfield(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), atomicfield.Analyzer, "atomicfix")
+	analysistest.Run(t, analysistest.TestData(t), atomicfield.Analyzer, "atomicfix", "storeclock")
 }

@@ -1,0 +1,53 @@
+// Package storeclock stages the persistent store's logical-access-clock
+// shape for the atomicfield analyzer: eviction ordering reads per-segment
+// access stamps concurrently with Get bumping them, so a plain read of a
+// stamp that is atomically written elsewhere is exactly the torn-read class
+// the analyzer exists to catch.
+package storeclock
+
+import "sync/atomic"
+
+type segment struct {
+	id     uint64
+	access int64 // logical clock stamp of the last Get
+	size   int64
+}
+
+type store struct {
+	clock int64
+	segs  []*segment
+}
+
+func (s *store) touch(seg *segment) {
+	stamp := atomic.AddInt64(&s.clock, 1)
+	atomic.StoreInt64(&seg.access, stamp)
+}
+
+func (s *store) oldest() *segment {
+	var victim *segment
+	for _, seg := range s.segs {
+		if victim == nil || seg.access < victim.access { // want `field access is accessed via sync/atomic elsewhere` `field access is accessed via sync/atomic elsewhere`
+			victim = seg
+		}
+	}
+	return victim
+}
+
+func (s *store) oldestAtomic() *segment {
+	var victim *segment
+	best := int64(0)
+	for _, seg := range s.segs {
+		if a := atomic.LoadInt64(&seg.access); victim == nil || a < best {
+			victim, best = seg, a
+		}
+	}
+	return victim
+}
+
+func (s *store) resetClock() {
+	s.clock = 0 // want `field clock is accessed via sync/atomic elsewhere`
+}
+
+// size is only ever touched under the store lock in the real code; the
+// fixture never touches it atomically, so plain access stays clean.
+func (s *store) grow(seg *segment, n int64) { seg.size += n }

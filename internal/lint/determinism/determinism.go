@@ -26,6 +26,11 @@ var scopeSegments = map[string]bool{
 	// artefacts the campaign runner exports, so its merge/expansion paths
 	// are held to the same clock and iteration-order discipline.
 	"fleet": true,
+	// store persists campaign outcomes verbatim and replays them into the
+	// same artefacts: a wall-clock value or a map-order walk reaching a
+	// segment writer would smuggle nondeterminism into bytes that survive
+	// process restarts.
+	"store": true,
 }
 
 // Analyzer flags nondeterminism sources in artefact-producing packages.

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "campaign", "fleet", "other")
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "campaign", "fleet", "store", "other")
 }

@@ -1,0 +1,71 @@
+// Package store is a fixture named after the persistent result store so it
+// lands in the determinism analyzer's scope: the store persists campaign
+// outcomes verbatim and replays them into byte-stable artefacts, so nothing
+// nondeterministic may reach the bytes a segment writer appends.
+package store
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// A record body stamped with the wall clock would differ across otherwise
+// identical runs — and the difference would survive restarts.
+
+func stampRecord(body []byte) []byte {
+	now := time.Now() // want `time\.Now in artefact-producing package`
+	return append(body, []byte(now.String())...)
+}
+
+func recordAge(wrote time.Time) time.Duration {
+	return time.Since(wrote) // want `time\.Since in artefact-producing package`
+}
+
+// Segment ids must be allocated sequentially, never drawn from the shared
+// process-wide source.
+
+func sloppySegmentID() int64 {
+	return rand.Int63() // want `global math/rand Int63 uses the shared process-wide source`
+}
+
+func seededProbe(n int) int {
+	r := rand.New(rand.NewSource(7)) // constructor: fine
+	return r.Intn(n)
+}
+
+// A compaction that walks the index map directly would rewrite live records
+// in map-iteration order; the store walks segments in id order instead.
+
+func compactUnsorted(w io.Writer, idx map[string][]byte) {
+	for key, rec := range idx {
+		fmt.Fprintf(w, "%s=%s\n", key, rec) // want `fmt\.Fprintf inside a map range`
+	}
+}
+
+func compactSorted(w io.Writer, idx map[string][]byte) {
+	keys := make([]string, 0, len(idx))
+	for k := range idx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%s\n", k, idx[k])
+	}
+}
+
+// Delete-only walks (dropping a segment's keys from the index) never let
+// iteration order escape, so they stay clean.
+
+func dropSegment(idx map[string]int64, seg int64) int {
+	dropped := 0
+	for key, owner := range idx {
+		if owner == seg {
+			delete(idx, key)
+			dropped++
+		}
+	}
+	return dropped
+}

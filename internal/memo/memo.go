@@ -18,6 +18,13 @@
 // is retried by the next Do for the key.  A computation that panics is
 // contained — the panic is delivered to every joined caller as an error, not
 // re-raised on the cache's internal goroutine.
+//
+// A Cache can carry a second level below the memory LRU (SetTier): on a
+// memory miss the singleflight leader consults the tier — typically the
+// disk store and fleet peer fetcher of internal/store — before computing,
+// and writes fresh results through to it, so the full miss path is
+// memory → disk → peers → compute with every stage collapsed to one probe
+// per key by the same singleflight.
 package memo
 
 import (
@@ -42,6 +49,8 @@ var (
 	totMisses    = obs.NewCounter("ringsym_memo_misses_total", "Cache lookups that executed the computation, across all caches.")
 	totDedups    = obs.NewCounter("ringsym_memo_dedups_total", "Cache lookups that joined an in-flight computation, across all caches.")
 	totEvictions = obs.NewCounter("ringsym_memo_evictions_total", "Entries dropped by the LRU bound, across all caches.")
+	totDiskHits  = obs.NewCounter("ringsym_memo_disk_hits_total", "Cache lookups served by the disk tier and promoted to memory, across all caches.")
+	totPeerHits  = obs.NewCounter("ringsym_memo_peer_hits_total", "Cache lookups served by a fleet peer and promoted to memory, across all caches.")
 )
 
 // note records one service outcome on the process-wide counter and the event
@@ -59,10 +68,16 @@ type Kind int8
 const (
 	// Miss: this call executed the computation.
 	Miss Kind = iota
-	// Hit: the value was already cached.
+	// Hit: the value was already cached in memory.
 	Hit
 	// Dedup: the call joined a computation another caller had in flight.
 	Dedup
+	// DiskHit: the attached tier served the value from local disk; it was
+	// promoted into memory without executing the computation.
+	DiskHit
+	// PeerHit: the attached tier fetched the value from a fleet peer; it
+	// was promoted into memory without executing the computation.
+	PeerHit
 )
 
 // String implements fmt.Stringer.
@@ -72,19 +87,48 @@ func (k Kind) String() string {
 		return "hit"
 	case Dedup:
 		return "dedup"
+	case DiskHit:
+		return "disk"
+	case PeerHit:
+		return "peer"
 	default:
 		return "miss"
 	}
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Tier is a second cache level consulted between a memory miss and the
+// computation: typically a disk store backed by a peer fetcher (see
+// internal/store).  Load reports how it served the key (DiskHit or PeerHit)
+// — any other Kind with ok true is treated as DiskHit for accounting.  Store
+// is the write-through of a freshly computed value; it must not block
+// correctness (a tier that drops writes only costs future recomputes).  Both
+// methods are called from the cache's singleflight leader, so at most one
+// Load/Store per key is in flight at a time.
+type Tier[V any] interface {
+	Load(ctx context.Context, key string) (V, Kind, bool)
+	Store(key string, v V)
+}
+
+// tierBox wraps the interface so it can sit in an atomic.Pointer.
+type tierBox[V any] struct{ t Tier[V] }
+
+// Stats is a point-in-time snapshot of the cache counters.  The four
+// service kinds partition the Do calls that resolved: every call is exactly
+// one of Hits (memory), DiskHits/PeerHits (tier promotion), Dedups (joined
+// an in-flight call) or Misses (executed the computation) — a tier
+// promotion is never double-counted as a miss.
 type Stats struct {
-	// Hits counts Do calls served from the cache.
+	// Hits counts Do calls served from the in-memory cache.
 	Hits uint64 `json:"hits"`
-	// Misses counts Do calls that executed the computation.
+	// Misses counts Do calls that executed the computation (including
+	// computations that returned an error).
 	Misses uint64 `json:"misses"`
 	// Dedups counts Do calls that joined an in-flight computation.
 	Dedups uint64 `json:"dedups"`
+	// DiskHits counts Do calls served by the attached tier from local disk.
+	DiskHits uint64 `json:"disk_hits"`
+	// PeerHits counts Do calls served by the attached tier from a peer.
+	PeerHits uint64 `json:"peer_hits"`
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions uint64 `json:"evictions"`
 	// Entries is the current number of cached values.
@@ -99,8 +143,28 @@ type Cache[V any] struct {
 	shards [nShards]shard[V]
 	seed   maphash.Seed
 	cap    int // per shard
+	tier   atomic.Pointer[tierBox[V]]
 
 	hits, misses, dedups, evictions atomic.Uint64
+	diskHits, peerHits              atomic.Uint64
+}
+
+// SetTier attaches (or, with nil, detaches) a second cache level consulted
+// on memory misses.  Safe to call concurrently with Do; in-flight leaders
+// keep the tier they started with.
+func (c *Cache[V]) SetTier(t Tier[V]) {
+	if t == nil {
+		c.tier.Store(nil)
+		return
+	}
+	c.tier.Store(&tierBox[V]{t: t})
+}
+
+func (c *Cache[V]) getTier() Tier[V] {
+	if b := c.tier.Load(); b != nil {
+		return b.t
+	}
+	return nil
 }
 
 const nShards = 16
@@ -125,6 +189,7 @@ type call[V any] struct {
 	done     chan struct{}
 	val      V
 	err      error
+	kind     Kind // how the leader resolved: Miss, DiskHit or PeerHit
 	waiters  int
 	finished bool
 	cancel   context.CancelFunc
@@ -202,27 +267,62 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func(context.Context) 
 	cl := &call[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	s.inflight[key] = cl
 	s.mu.Unlock()
-	c.misses.Add(1)
-	note(totMisses, obs.CacheMiss)
+	tier := c.getTier()
 
 	go func() {
 		var v V
 		var err error
-		// The computation runs on this cache-owned goroutine, outside any
-		// recover the caller installed on its own stack; contain panics here
-		// so one bad computation becomes an error for the joined waiters
-		// instead of killing the process (and leaving done never closed).
+		kind := Miss
+		// The tier lookup and the computation run on this cache-owned
+		// goroutine, outside any recover the caller installed on its own
+		// stack; contain panics here so one bad computation becomes an
+		// error for the joined waiters instead of killing the process (and
+		// leaving done never closed).
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
 					err = fmt.Errorf("memo: computation panicked: %v", r)
 				}
 			}()
+			if tier != nil {
+				if tv, tk, ok := tier.Load(cctx, key); ok {
+					v = tv
+					if tk == PeerHit {
+						kind = PeerHit
+					} else {
+						kind = DiskHit
+					}
+					return
+				}
+			}
 			v, err = fn(cctx)
 		}()
+		// Counting happens at resolution time, by how the call actually
+		// resolved: a tier promotion is a disk/peer hit, never a miss —
+		// misses count executed computations (successful or not), so the
+		// miss counter remains the exact "work we could not avoid" gauge.
+		switch {
+		case err == nil && kind == DiskHit:
+			c.diskHits.Add(1)
+			totDiskHits.Add(1)
+		case err == nil && kind == PeerHit:
+			c.peerHits.Add(1)
+			totPeerHits.Add(1)
+		default:
+			c.misses.Add(1)
+			note(totMisses, obs.CacheMiss)
+		}
+		// Write a freshly computed value through to the tier before
+		// publishing it, outside the shard lock (the tier does disk and
+		// network I/O).  Tier-served values are not re-offered: the disk
+		// tier already has them, and peer hits were written through to the
+		// local store by the tier itself.
+		if err == nil && kind == Miss && tier != nil {
+			tier.Store(key, v)
+		}
 		s.mu.Lock()
 		cl.finished = true
-		cl.val, cl.err = v, err
+		cl.val, cl.err, cl.kind = v, err, kind
 		// An abandoned call was already deregistered by its last waiter and
 		// may have been replaced by a fresh one; only remove our own entry.
 		if s.inflight[key] == cl {
@@ -237,7 +337,15 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func(context.Context) 
 	}()
 
 	v, err := c.wait(ctx, s, key, cl)
-	return v, Miss, err
+	// The resolved kind is published only at done; a waiter that bailed on
+	// ctx cancellation reports Miss (the zero value it returns with).
+	kind := Miss
+	select {
+	case <-cl.done:
+		kind = cl.kind
+	default:
+	}
+	return v, kind, err
 }
 
 // wait blocks until the call completes or ctx is cancelled.  A cancelled
@@ -305,6 +413,8 @@ func (c *Cache[V]) Stats() Stats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Dedups:    c.dedups.Load(),
+		DiskHits:  c.diskHits.Load(),
+		PeerHits:  c.peerHits.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   c.Len(),
 	}

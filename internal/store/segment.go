@@ -1,0 +1,174 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment file layout.  A segment is a header followed by back-to-back
+// records; nothing in a segment is ever rewritten in place, so a reader can
+// trust any record whose checksum matches and a recovery scan can cut a torn
+// tail without consulting anything but the file itself:
+//
+//	header:  8 bytes  magic "RSEGv1\r\n"
+//	record:  4 bytes  CRC32C over the remaining fields (lengths + key + value)
+//	         4 bytes  key length   (big endian)
+//	         4 bytes  value length (big endian)
+//	         key, value bytes
+//
+// The CRC leads so a record is validated before its lengths are believed: a
+// torn append can leave plausible-looking garbage lengths, and seeking past
+// them would desynchronise the scan for the rest of the file.
+const (
+	segMagic     = "RSEGv1\r\n"
+	segHeaderLen = len(segMagic)
+	recHeaderLen = 12
+
+	// maxKeyLen / maxValLen bound the lengths a scan will believe even with a
+	// matching CRC shape; canonical cache keys are ~100 bytes and outcome
+	// bodies O(n) JSON, so these are generous without letting a corrupt
+	// length trigger a multi-gigabyte allocation.
+	maxKeyLen = 1 << 12
+	maxValLen = 1 << 26
+)
+
+// castagnoli is the CRC32C polynomial table (the same checksum family disks
+// and filesystems use for data integrity).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segName renders a segment id as its file name; ids are zero-padded so
+// lexical directory order equals numeric id order.
+func segName(id uint64) string {
+	return fmt.Sprintf("seg-%016d.rseg", id)
+}
+
+// parseSegName inverts segName; ok is false for foreign files, which Open
+// leaves untouched.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".rseg") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".rseg")
+	if len(digits) != 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// appendRecord encodes one record into buf (reused across calls) and returns
+// the encoded bytes.
+func appendRecord(buf []byte, key string, val []byte) []byte {
+	need := recHeaderLen + len(key) + len(val)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(key)))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(val)))
+	copy(buf[recHeaderLen:], key)
+	copy(buf[recHeaderLen+len(key):], val)
+	binary.BigEndian.PutUint32(buf[0:4], crc32.Checksum(buf[4:], castagnoli))
+	return buf
+}
+
+// recordSize is the on-disk footprint of one record.
+func recordSize(keyLen, valLen int) int64 {
+	return int64(recHeaderLen + keyLen + valLen)
+}
+
+// scannedRecord is one complete record surfaced by scanSegment.
+type scannedRecord struct {
+	key string
+	off int64 // offset of the record header within the segment
+	vl  int   // value length
+	kl  int   // key length
+}
+
+// errTorn reports a record that does not check out; the scan stops and the
+// caller truncates the segment at the record's offset.
+var errTorn = errors.New("store: torn or corrupt record")
+
+// scanSegment reads every complete record of a segment file and returns the
+// offset where the valid prefix ends.  A short header, an implausible
+// length, a short body or a checksum mismatch all terminate the scan at the
+// offending record's offset: a crash mid-append leaves exactly such a tail,
+// and the recovery contract is that the tail is cut away, never interpreted.
+// A file too short for (or not carrying) the magic header scans as empty
+// with validLen 0.
+func scanSegment(f io.ReaderAt, fileSize int64, emit func(scannedRecord)) (validLen int64, err error) {
+	hdr := make([]byte, segHeaderLen)
+	if fileSize < int64(segHeaderLen) {
+		return 0, nil
+	}
+	if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != segMagic {
+		return 0, nil
+	}
+	off := int64(segHeaderLen)
+	var rh [recHeaderLen]byte
+	body := make([]byte, 0, 4096)
+	for off+recHeaderLen <= fileSize {
+		if _, err := f.ReadAt(rh[:], off); err != nil {
+			return off, nil
+		}
+		kl := int(binary.BigEndian.Uint32(rh[4:8]))
+		vl := int(binary.BigEndian.Uint32(rh[8:12]))
+		if kl == 0 || kl > maxKeyLen || vl > maxValLen {
+			return off, nil
+		}
+		size := recordSize(kl, vl)
+		if off+size > fileSize {
+			return off, nil
+		}
+		if cap(body) < kl+vl {
+			body = make([]byte, kl+vl)
+		}
+		body = body[:kl+vl]
+		if _, err := f.ReadAt(body, off+recHeaderLen); err != nil {
+			return off, nil
+		}
+		sum := crc32.Checksum(rh[4:], castagnoli)
+		sum = crc32.Update(sum, castagnoli, body)
+		if sum != binary.BigEndian.Uint32(rh[0:4]) {
+			return off, nil
+		}
+		emit(scannedRecord{key: string(body[:kl]), off: off, kl: kl, vl: vl})
+		off += size
+	}
+	return off, nil
+}
+
+// listSegments returns the segment ids present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSegName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// segPath joins dir and the segment file name.
+func segPath(dir string, id uint64) string {
+	return filepath.Join(dir, segName(id))
+}
